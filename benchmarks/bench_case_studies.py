@@ -1,0 +1,41 @@
+"""Benchmarks: Figures 3, 4 and 6 — the Restaurant case studies."""
+
+from conftest import FAST_MODEL, run_once
+
+from repro.experiments import (
+    run_figure3_worker_consistency,
+    run_figure4_quality_calibration,
+    run_figure6_attribute_correlation,
+)
+
+
+def test_figure3_worker_consistency(benchmark, report_writer):
+    """Regenerate the Figure 3 heat-map data (per-worker per-attribute error)."""
+    report = run_once(
+        benchmark, run_figure3_worker_consistency, seed=11, num_rows=80, top_workers=25
+    )
+    report_writer(report)
+    assert report.headers[0] == "Worker"
+    assert 1 <= len(report.rows) <= 25
+
+
+def test_figure4_quality_calibration(benchmark, report_writer):
+    """Regenerate Figure 4: estimated-vs-actual worker quality calibration."""
+    report = run_once(
+        benchmark, run_figure4_quality_calibration, seed=11, num_rows=120,
+        model_kwargs=FAST_MODEL,
+    )
+    report_writer(report)
+    correlations = [row[2] for row in report.rows]
+    assert correlations and all(value > 0 for value in correlations)
+
+
+def test_figure6_attribute_correlation(benchmark, report_writer):
+    """Regenerate Figure 6: Aspect x Sentiment contingency + span-error correlation."""
+    report = run_once(
+        benchmark, run_figure6_attribute_correlation, seed=11, num_rows=120,
+        model_kwargs=FAST_MODEL,
+    )
+    report_writer(report)
+    assert len(report.rows) == 2  # correct / wrong rows of the contingency table
+    assert any("Pearson" in note for note in report.notes)

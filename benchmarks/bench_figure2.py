@@ -1,0 +1,31 @@
+"""Benchmark: Figure 2 — end-to-end assignment comparison (one panel per dataset)."""
+
+import pytest
+from conftest import FAST_MODEL, run_once
+
+from repro.experiments import run_figure2
+
+
+@pytest.mark.parametrize("dataset_name", ["Celebrity", "Restaurant", "Emotion"])
+def test_figure2_end_to_end(benchmark, report_writer, dataset_name):
+    """Regenerate one dataset's Figure 2 panels (reduced table, reduced budget)."""
+    budget = {"Celebrity": 4.0, "Restaurant": 4.0, "Emotion": 5.0}[dataset_name]
+    report = run_once(
+        benchmark,
+        run_figure2,
+        dataset_name=dataset_name,
+        seed=7,
+        num_rows=25,
+        target_answers_per_task=budget,
+        eval_every=1.0,
+        model_kwargs=FAST_MODEL,
+    )
+    report.experiment_id = f"figure2_{dataset_name.lower()}"
+    report_writer(report)
+    assert len(report.rows) == 5
+    systems = [row[0] for row in report.rows]
+    assert "T-Crowd" in systems and "CDAS" in systems
+    # Every system's series advances along the answers-per-task axis.
+    for points in report.series.values():
+        xs = [x for x, _y in points]
+        assert xs == sorted(xs)

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 10 — robustness to noise in the workers' answers."""
+
+from conftest import FAST_MODEL, run_once
+
+from repro.experiments import run_figure10
+
+
+def test_figure10_noise_robustness(benchmark, report_writer):
+    """Regenerate Figure 10 on a reduced Celebrity table."""
+    report = run_once(
+        benchmark, run_figure10, gammas=(0.1, 0.2, 0.3, 0.4), seed=7, trials=1,
+        num_rows=40, model_kwargs=FAST_MODEL,
+    )
+    report_writer(report)
+    assert [row[0] for row in report.rows] == [0.1, 0.2, 0.3, 0.4]
+    headers = report.headers
+    tcrowd_col = headers.index("T-Crowd error")
+    mv_col = headers.index("MV error")
+    # T-Crowd stays at least as robust as majority voting at the highest noise level.
+    assert report.rows[-1][tcrowd_col] <= report.rows[-1][mv_col] + 0.02

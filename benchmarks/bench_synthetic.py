@@ -1,0 +1,40 @@
+"""Benchmarks: Figures 7, 8 and 9 — synthetic-table parameter sweeps."""
+
+from conftest import FAST_MODEL, run_once
+
+from repro.experiments import run_figure7, run_figure8, run_figure9
+
+
+def test_figure7_number_of_columns(benchmark, report_writer):
+    """Regenerate Figure 7: effect of the number of columns M."""
+    report = run_once(
+        benchmark, run_figure7, column_counts=(5, 10, 20), num_rows=25, trials=1,
+        seed=23, model_kwargs=FAST_MODEL,
+    )
+    report_writer(report)
+    assert [row[0] for row in report.rows] == [5, 10, 20]
+    assert "T-Crowd error" in report.series and "T-Crowd MNAD" in report.series
+
+
+def test_figure8_categorical_ratio(benchmark, report_writer):
+    """Regenerate Figure 8: effect of the categorical-column ratio R."""
+    report = run_once(
+        benchmark, run_figure8, ratios=(0.2, 0.5, 0.8), num_rows=25, trials=1,
+        seed=29, model_kwargs=FAST_MODEL,
+    )
+    report_writer(report)
+    assert [row[0] for row in report.rows] == [0.2, 0.5, 0.8]
+
+
+def test_figure9_average_difficulty(benchmark, report_writer):
+    """Regenerate Figure 9: effect of the average cell difficulty."""
+    report = run_once(
+        benchmark, run_figure9, difficulties=(0.5, 1.5, 3.0), num_rows=25, trials=1,
+        seed=31, model_kwargs=FAST_MODEL,
+    )
+    report_writer(report)
+    headers = report.headers
+    col = headers.index("T-Crowd error")
+    easiest, hardest = report.rows[0], report.rows[-1]
+    # Higher difficulty hurts accuracy (the paper's Figure 9 trend).
+    assert easiest[col] <= hardest[col] + 1e-9

@@ -1,0 +1,19 @@
+"""Benchmark: Table 7 — truth-inference effectiveness on all three datasets."""
+
+from conftest import FAST_MODEL, run_once
+
+from repro.experiments import run_table7
+
+
+def test_table7_truth_inference(benchmark, report_writer):
+    """Regenerate Table 7 (reduced tables, one trial) and record its rows."""
+    report = run_once(
+        benchmark, run_table7, seed=7, trials=1, num_rows=60, model_kwargs=FAST_MODEL
+    )
+    report_writer(report)
+    assert len(report.rows) == 11
+    tcrowd = next(row for row in report.rows if row[0] == "T-Crowd")
+    mv = next(row for row in report.rows if row[0] == "Maj. Voting")
+    err_col = report.headers.index("Celebrity ErrorRate")
+    # The paper's headline: T-Crowd at least matches majority voting.
+    assert tcrowd[err_col] <= mv[err_col] + 0.02

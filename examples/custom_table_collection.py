@@ -1,0 +1,103 @@
+"""Collecting a brand-new table with a simulated crowd (product catalogue).
+
+Shows how to use the library for a table that is *not* one of the paper's
+datasets: define a schema, provide (or in production: withhold) the ground
+truth, simulate a worker pool, and run budget-aware collection with T-Crowd's
+assignment and inference.  This is the workflow a requester (e.g. an
+e-commerce catalogue team) would follow.
+
+Run with::
+
+    python examples/custom_table_collection.py
+"""
+
+import numpy as np
+
+from repro import TCrowdAssigner, TCrowdModel
+from repro.core.schema import Column, TableSchema
+from repro.datasets import WorkerPool
+from repro.datasets.synthetic import build_dataset
+from repro.metrics import error_rate, mnad
+from repro.platform import CrowdsourcingSession
+
+CATEGORIES = ("electronics", "clothing", "grocery", "toys", "sports")
+BRANDS = ("Acme", "Globex", "Initech", "Umbrella", "Soylent", "Hooli")
+
+
+def build_catalogue_schema(num_products: int) -> TableSchema:
+    """Product catalogue: two categorical and two continuous attributes."""
+    columns = (
+        Column.categorical("category", CATEGORIES),
+        Column.categorical("brand", BRANDS),
+        Column.continuous("price", (1.0, 500.0)),
+        Column.continuous("weight_kg", (0.05, 30.0)),
+    )
+    return TableSchema.build("product", columns, num_products)
+
+
+def build_catalogue_truth(schema: TableSchema, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    truth = {}
+    for i in range(schema.num_rows):
+        truth[(i, 0)] = CATEGORIES[int(rng.integers(len(CATEGORIES)))]
+        truth[(i, 1)] = BRANDS[int(rng.integers(len(BRANDS)))]
+        truth[(i, 2)] = float(np.round(rng.uniform(5.0, 400.0), 2))
+        truth[(i, 3)] = float(np.round(rng.uniform(0.2, 25.0), 2))
+    return truth
+
+
+def main() -> None:
+    seed = 42
+    schema = build_catalogue_schema(num_products=25)
+    truth = build_catalogue_truth(schema, seed)
+    pool = WorkerPool.generate(30, seed=seed, median_variance=0.7, spammer_fraction=0.1)
+
+    # Initial collection: one answer per task (Algorithm 2, line 1).
+    dataset = build_dataset(
+        name="ProductCatalogue",
+        schema=schema,
+        ground_truth=truth,
+        pool=pool,
+        answers_per_task=1,
+        seed=seed,
+        row_confusion_probability=0.1,
+        row_shift_sigma=0.4,
+        noise_fraction=0.8,
+        bias_fraction=0.15,
+    )
+    print("Initial collection:", dataset.summary())
+
+    model = TCrowdModel(max_iterations=15)
+    initial = model.fit(dataset.schema, dataset.answers)
+    print(f"  error rate after 1 answer/task: {error_rate(initial, dataset):.3f}")
+    print(f"  MNAD after 1 answer/task:       {mnad(initial, dataset):.3f}")
+
+    # Adaptive collection up to 4 answers per task.
+    policy = TCrowdAssigner(
+        schema, model=model, use_structure=True, refit_every=schema.num_columns
+    )
+    session = CrowdsourcingSession(
+        dataset, policy, model,
+        target_answers_per_task=4.0,
+        initial_answers_per_task=1,
+        eval_every_answers_per_task=1.0,
+        seed=seed,
+    )
+    trace = session.run()
+    print("\nAdaptive collection with structure-aware information gain:")
+    for record in trace.records:
+        print(
+            f"  answers/task={record.answers_per_task:4.2f}  "
+            f"error rate={record.error_rate:.3f}  MNAD={record.mnad:.3f}  "
+            f"spent=${record.spent_money:.2f}"
+        )
+
+    final = trace.final
+    print(
+        f"\nFinal catalogue quality: error rate {final.error_rate:.3f}, "
+        f"MNAD {final.mnad:.3f} after {final.answers_per_task:.1f} answers per task."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip cannot
+build PEP 660 editable wheels (e.g. offline machines without the ``wheel``
+package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""CDAS-style assignment (Liu et al., PVLDB 2012).
+
+CDAS measures the confidence of the currently estimated value of every task
+with a quality-sensitive answering model; tasks whose estimate is already
+confident are *terminated* and never assigned again, and each incoming worker
+receives a random non-terminated task.
+
+Confidence here follows the spirit of CDAS's majority-vote termination rule:
+
+* categorical cells terminate once at least ``min_answers`` answers exist and
+  the majority label holds at least a ``confidence_threshold`` fraction of
+  the votes;
+* continuous cells terminate once at least ``min_answers`` answers exist and
+  the standard error of the mean drops below ``sem_threshold`` times the
+  column's answer spread.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+import numpy as np
+
+from repro.core.answers import AnswerSet
+from repro.core.assignment import AssignmentPolicy, BatchAssignment
+from repro.core.schema import TableSchema
+from repro.utils.exceptions import AssignmentError
+from repro.utils.numerics import safe_var
+from repro.utils.rng import as_generator
+
+
+class CDASAssigner(AssignmentPolicy):
+    """Random assignment over non-terminated tasks with confidence termination."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        seed=None,
+        confidence_threshold: float = 0.8,
+        sem_threshold: float = 0.3,
+        min_answers: int = 3,
+        max_answers_per_cell: Optional[int] = None,
+    ) -> None:
+        super().__init__(schema, max_answers_per_cell=max_answers_per_cell)
+        self.confidence_threshold = float(confidence_threshold)
+        self.sem_threshold = float(sem_threshold)
+        self.min_answers = int(min_answers)
+        self._rng = as_generator(seed)
+
+    @property
+    def name(self) -> str:
+        return "CDAS"
+
+    # -- termination rule -------------------------------------------------------
+
+    def is_terminated(self, answers: AnswerSet, row: int, col: int) -> bool:
+        """True if the cell's current estimate is already confident enough."""
+        cell_answers = answers.answers_for_cell(row, col)
+        if len(cell_answers) < self.min_answers:
+            return False
+        column = self.schema.columns[col]
+        if column.is_categorical:
+            counts = Counter(answer.value for answer in cell_answers)
+            majority_fraction = counts.most_common(1)[0][1] / len(cell_answers)
+            return majority_fraction >= self.confidence_threshold
+        values = np.array([float(answer.value) for answer in cell_answers])
+        column_values = np.array(
+            [float(a.value) for a in answers.answers_in_column(col)], dtype=float
+        )
+        spread = np.sqrt(safe_var(column_values))
+        sem = float(np.std(values)) / np.sqrt(len(values))
+        return sem <= self.sem_threshold * spread
+
+    # -- policy -------------------------------------------------------------------
+
+    def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
+        candidates = self.candidate_cells(worker, answers)
+        if not candidates:
+            raise AssignmentError(f"No candidate cells left for worker {worker!r}")
+        open_cells = [
+            cell for cell in candidates
+            if not self.is_terminated(answers, cell[0], cell[1])
+        ]
+        pool = open_cells if open_cells else candidates
+        k = min(k, len(pool))
+        chosen = self._rng.choice(len(pool), size=k, replace=False)
+        cells = tuple(pool[int(index)] for index in chosen)
+        return BatchAssignment(worker, cells, tuple(0.0 for _ in cells))

@@ -1,0 +1,129 @@
+"""Simple assignment heuristics: Random, Looping, Entropy (Section 6.4.2).
+
+These are the heuristics of Figure 5 (all evaluated with T-Crowd's inference
+in the paper's case study):
+
+* **Random** — pick uniformly among the candidate cells;
+* **Looping** — round-robin over the cells in row-major order;
+* **Entropy** — pick the cell whose current truth posterior has the highest
+  *raw* uniform entropy.  Because raw Shannon and differential entropies are
+  not comparable, this heuristic is biased toward continuous cells — the
+  behaviour the paper points out and that motivates delta entropy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.answers import AnswerSet
+from repro.core.assignment import AssignmentPolicy, BatchAssignment, Cell
+from repro.core.inference import TCrowdModel
+from repro.core.schema import TableSchema
+from repro.utils.exceptions import AssignmentError
+from repro.utils.rng import as_generator
+
+
+class RandomAssigner(AssignmentPolicy):
+    """Assign uniformly random candidate cells (CDAS-style random routing)."""
+
+    def __init__(self, schema: TableSchema, seed=None,
+                 max_answers_per_cell: Optional[int] = None) -> None:
+        super().__init__(schema, max_answers_per_cell=max_answers_per_cell)
+        self._rng = as_generator(seed)
+
+    @property
+    def name(self) -> str:
+        return "Random"
+
+    def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
+        candidates = self.candidate_cells(worker, answers)
+        if not candidates:
+            raise AssignmentError(f"No candidate cells left for worker {worker!r}")
+        k = min(k, len(candidates))
+        chosen = self._rng.choice(len(candidates), size=k, replace=False)
+        cells = tuple(candidates[int(index)] for index in chosen)
+        return BatchAssignment(worker, cells, tuple(0.0 for _ in cells))
+
+
+class LoopingAssigner(AssignmentPolicy):
+    """Assign cells in round-robin (row-major) order."""
+
+    def __init__(self, schema: TableSchema,
+                 max_answers_per_cell: Optional[int] = None) -> None:
+        super().__init__(schema, max_answers_per_cell=max_answers_per_cell)
+        self._cursor = 0
+        self._order: List[Cell] = [
+            (i, j) for i in range(schema.num_rows) for j in range(schema.num_columns)
+        ]
+
+    @property
+    def name(self) -> str:
+        return "Looping"
+
+    def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
+        candidates = set(self.candidate_cells(worker, answers))
+        if not candidates:
+            raise AssignmentError(f"No candidate cells left for worker {worker!r}")
+        cells: List[Cell] = []
+        scanned = 0
+        total = len(self._order)
+        while len(cells) < k and scanned < total:
+            cell = self._order[self._cursor]
+            self._cursor = (self._cursor + 1) % total
+            scanned += 1
+            if cell in candidates and cell not in cells:
+                cells.append(cell)
+        if not cells:
+            raise AssignmentError(f"No candidate cells left for worker {worker!r}")
+        return BatchAssignment(worker, tuple(cells), tuple(0.0 for _ in cells))
+
+
+class EntropyAssigner(AssignmentPolicy):
+    """Assign the cells whose truth posterior currently has the highest entropy.
+
+    Uses T-Crowd's truth inference to obtain the posteriors (as in the
+    paper's Figure 5 study) but ranks by *raw* uniform entropy rather than by
+    delta entropy, so it inherits the categorical-vs-continuous bias.
+    """
+
+    def __init__(self, schema: TableSchema, model: Optional[TCrowdModel] = None,
+                 refit_every: int = 1,
+                 max_answers_per_cell: Optional[int] = None) -> None:
+        super().__init__(schema, max_answers_per_cell=max_answers_per_cell)
+        self.model = model or TCrowdModel()
+        self.refit_every = max(int(refit_every), 1)
+        self._result = None
+        self._answers_at_last_fit = -1
+
+    @property
+    def name(self) -> str:
+        return "Entropy"
+
+    def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
+        candidates = self.candidate_cells(worker, answers)
+        if not candidates:
+            raise AssignmentError(f"No candidate cells left for worker {worker!r}")
+        result = self._ensure_result(answers)
+        scored = [
+            (result.posterior(row, col).entropy(), (row, col))
+            for row, col in candidates
+        ]
+        scored.sort(key=lambda item: item[0], reverse=True)
+        top = scored[:k]
+        cells = tuple(cell for _score, cell in top)
+        gains = tuple(score for score, _cell in top)
+        return BatchAssignment(worker, cells, gains)
+
+    def _ensure_result(self, answers: AnswerSet):
+        if len(answers) == 0:
+            raise AssignmentError(
+                "Entropy assignment needs at least one collected answer"
+            )
+        stale = (
+            self._result is None
+            or len(answers) - self._answers_at_last_fit >= self.refit_every
+        )
+        if stale:
+            self._result = self.model.fit(self.schema, answers)
+            self._answers_at_last_fit = len(answers)
+        return self._result

@@ -1,0 +1,58 @@
+"""Common interface of the baseline truth-inference methods.
+
+Every baseline exposes ``fit(schema, answers)`` and returns a
+:class:`BaselineResult`, whose ``estimates()`` mapping plugs directly into
+:mod:`repro.metrics` — the same contract as T-Crowd's
+:class:`~repro.core.inference.InferenceResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.answers import AnswerSet
+from repro.core.schema import TableSchema
+
+
+@dataclass
+class BaselineResult:
+    """Estimates produced by a baseline, plus optional per-worker weights."""
+
+    schema: TableSchema
+    method: str
+    _estimates: Dict[Tuple[int, int], object]
+    worker_weights: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def estimates(self) -> Dict[Tuple[int, int], object]:
+        """Estimated truth for every cell the method could answer."""
+        return dict(self._estimates)
+
+    def estimate(self, row: int, col: int):
+        """Estimated truth of one cell (None if the method has no estimate)."""
+        return self._estimates.get((row, col))
+
+    def worker_weight(self, worker: str) -> float:
+        """Reliability weight assigned to a worker (1.0 if unweighted)."""
+        return self.worker_weights.get(worker, 1.0)
+
+
+class TruthInferenceMethod(abc.ABC):
+    """Interface implemented by every baseline truth-inference method."""
+
+    #: Human-readable name used in tables and experiment reports.
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> BaselineResult:
+        """Infer truths for every answered cell."""
+
+    def supports_categorical(self) -> bool:
+        """True if the method can answer categorical cells."""
+        return True
+
+    def supports_continuous(self) -> bool:
+        """True if the method can answer continuous cells."""
+        return True

@@ -1,0 +1,53 @@
+"""Composition of single-datatype inference methods.
+
+Several compared systems handle only one datatype (Majority Voting, Median,
+GTM, ...).  :class:`CombinedInference` composes one method for categorical
+columns with one for continuous columns so that they can be evaluated — and
+used as the evaluation model of an assignment policy — on the full
+heterogeneous table, exactly as the paper pairs e.g. CDAS with majority
+voting and AskIt! with majority voting / averaging.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, TruthInferenceMethod
+from repro.baselines.majority_voting import MajorityVoting
+from repro.baselines.median import MedianAggregator
+from repro.core.answers import AnswerSet
+from repro.core.schema import TableSchema
+
+
+class CombinedInference(TruthInferenceMethod):
+    """Run one method on categorical columns and another on continuous columns."""
+
+    def __init__(
+        self,
+        categorical: TruthInferenceMethod = None,
+        continuous: TruthInferenceMethod = None,
+        name: str = None,
+    ) -> None:
+        self.categorical = categorical or MajorityVoting()
+        self.continuous = continuous or MedianAggregator()
+        self.name = name or f"{self.categorical.name} + {self.continuous.name}"
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> BaselineResult:
+        estimates = {}
+        weights = {}
+        if schema.categorical_indices:
+            categorical_answers = answers.restricted_to_columns(
+                schema.categorical_indices
+            )
+            if len(categorical_answers):
+                result = self.categorical.fit(schema, categorical_answers)
+                estimates.update(result.estimates())
+                weights.update(result.worker_weights)
+        if schema.continuous_indices:
+            continuous_answers = answers.restricted_to_columns(
+                schema.continuous_indices
+            )
+            if len(continuous_answers):
+                result = self.continuous.fit(schema, continuous_answers)
+                estimates.update(result.estimates())
+                for worker, weight in result.worker_weights.items():
+                    weights.setdefault(worker, weight)
+        return BaselineResult(schema, self.name, estimates, worker_weights=weights)

@@ -1,0 +1,147 @@
+"""GLAD baseline (Whitehill et al., NIPS 2009).
+
+Models the probability that worker ``u`` answers task ``t`` correctly as
+``sigmoid(ability_u * inv_difficulty_t)`` with ``inv_difficulty_t > 0``;
+wrong answers are spread uniformly over the remaining labels (the standard
+multi-class generalisation).  Estimated by EM; the M-step maximises the
+expected log-likelihood by gradient ascent over the abilities and the log
+inverse difficulties.  Categorical columns only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.baselines.base import BaselineResult, TruthInferenceMethod
+from repro.core.answers import AnswerSet
+from repro.core.schema import TableSchema
+from repro.utils.numerics import normalize_log_probs
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class GLAD(TruthInferenceMethod):
+    """GLAD: per-worker ability and per-task difficulty, EM + gradient ascent."""
+
+    name = "GLAD"
+
+    def __init__(self, max_iterations: int = 30, tolerance: float = 1e-4,
+                 m_step_iterations: int = 20, regularization: float = 0.01) -> None:
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.m_step_iterations = int(m_step_iterations)
+        self.regularization = float(regularization)
+
+    def supports_continuous(self) -> bool:
+        return False
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> BaselineResult:
+        cat_cols = set(schema.categorical_indices)
+        observations = [a for a in answers if a.col in cat_cols]
+        if not observations:
+            return BaselineResult(schema, self.name, {})
+        workers = sorted({a.worker for a in observations})
+        worker_index = {worker: u for u, worker in enumerate(workers)}
+        cells = sorted({(a.row, a.col) for a in observations})
+        cell_index = {cell: t for t, cell in enumerate(cells)}
+        label_counts = np.array(
+            [schema.columns[cell[1]].num_labels for cell in cells]
+        )
+        max_labels = int(label_counts.max())
+
+        obs_worker = np.array([worker_index[a.worker] for a in observations])
+        obs_cell = np.array([cell_index[(a.row, a.col)] for a in observations])
+        obs_label = np.array(
+            [schema.columns[a.col].label_index(a.value) for a in observations]
+        )
+
+        num_workers = len(workers)
+        num_cells = len(cells)
+
+        ability = np.ones(num_workers)
+        log_inv_difficulty = np.zeros(num_cells)
+
+        # Initial posteriors from vote fractions.
+        posterior = np.full((num_cells, max_labels), 1e-6)
+        np.add.at(posterior, (obs_cell, obs_label), 1.0)
+        label_grid = np.arange(max_labels)[None, :]
+        invalid = label_grid >= label_counts[:, None]
+        posterior[invalid] = 0.0
+        posterior = posterior / posterior.sum(axis=1, keepdims=True)
+
+        def e_step(ability, log_inv_difficulty):
+            correct_prob = np.clip(
+                _sigmoid(ability[obs_worker] * np.exp(log_inv_difficulty[obs_cell])),
+                1e-9, 1 - 1e-9,
+            )
+            wrong_prob = (1.0 - correct_prob) / np.maximum(
+                label_counts[obs_cell] - 1, 1
+            )
+            base = np.zeros(num_cells)
+            np.add.at(base, obs_cell, np.log(wrong_prob))
+            delta = np.zeros((num_cells, max_labels))
+            np.add.at(
+                delta, (obs_cell, obs_label), np.log(correct_prob) - np.log(wrong_prob)
+            )
+            log_post = base[:, None] + delta
+            log_post[invalid] = -np.inf
+            post = normalize_log_probs(log_post, axis=1)
+            post[invalid] = 0.0
+            return post
+
+        def negative_q(theta, posterior):
+            ability = theta[:num_workers]
+            log_inv_difficulty = theta[num_workers:]
+            scale = np.exp(log_inv_difficulty[obs_cell])
+            logits = ability[obs_worker] * scale
+            correct_prob = np.clip(_sigmoid(logits), 1e-9, 1 - 1e-9)
+            p_correct = posterior[obs_cell, obs_label]
+            objective = np.sum(
+                p_correct * np.log(correct_prob)
+                + (1.0 - p_correct)
+                * (
+                    np.log(1.0 - correct_prob)
+                    - np.log(np.maximum(label_counts[obs_cell] - 1, 1))
+                )
+            )
+            objective -= 0.5 * self.regularization * (
+                np.sum((ability - 1.0) ** 2) + np.sum(log_inv_difficulty**2)
+            )
+            # Gradient.
+            dlogit = (p_correct - correct_prob)
+            grad_ability = np.zeros(num_workers)
+            grad_logdiff = np.zeros(num_cells)
+            np.add.at(grad_ability, obs_worker, dlogit * scale)
+            np.add.at(grad_logdiff, obs_cell, dlogit * logits)
+            grad_ability -= self.regularization * (ability - 1.0)
+            grad_logdiff -= self.regularization * log_inv_difficulty
+            grad = np.concatenate([grad_ability, grad_logdiff])
+            return -float(objective), -grad
+
+        for _iteration in range(self.max_iterations):
+            previous = posterior.copy()
+            theta0 = np.concatenate([ability, log_inv_difficulty])
+            result = optimize.minimize(
+                negative_q, theta0, args=(posterior,), jac=True,
+                method="L-BFGS-B", options={"maxiter": self.m_step_iterations},
+            )
+            ability = result.x[:num_workers]
+            log_inv_difficulty = result.x[num_workers:]
+            posterior = e_step(ability, log_inv_difficulty)
+            if np.max(np.abs(posterior - previous)) < self.tolerance:
+                break
+
+        estimates: Dict[Tuple[int, int], object] = {}
+        for cell, index in cell_index.items():
+            column = schema.columns[cell[1]]
+            estimates[cell] = column.labels[int(np.argmax(posterior[index]))]
+        weights = {
+            worker: float(_sigmoid(ability[worker_index[worker]]))
+            for worker in workers
+        }
+        return BaselineResult(schema, self.name, estimates, worker_weights=weights)

@@ -1,0 +1,37 @@
+"""Majority Voting baseline (categorical data only)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Tuple
+
+from repro.baselines.base import BaselineResult, TruthInferenceMethod
+from repro.core.answers import AnswerSet
+from repro.core.schema import TableSchema
+
+
+class MajorityVoting(TruthInferenceMethod):
+    """Pick the most frequent answer of each categorical cell.
+
+    Ties are broken deterministically by label order (the first label of the
+    column's label set among the tied ones), so repeated runs are identical.
+    """
+
+    name = "Majority Voting"
+
+    def supports_continuous(self) -> bool:
+        return False
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> BaselineResult:
+        estimates: Dict[Tuple[int, int], object] = {}
+        for col in schema.categorical_indices:
+            column = schema.columns[col]
+            for row in range(schema.num_rows):
+                cell_answers = answers.answers_for_cell(row, col)
+                if not cell_answers:
+                    continue
+                counts = Counter(answer.value for answer in cell_answers)
+                best_count = max(counts.values())
+                tied = [label for label, count in counts.items() if count == best_count]
+                estimates[(row, col)] = min(tied, key=column.label_index)
+        return BaselineResult(schema, self.name, estimates)

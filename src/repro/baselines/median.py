@@ -1,0 +1,31 @@
+"""Median baseline (continuous data only)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, TruthInferenceMethod
+from repro.core.answers import AnswerSet
+from repro.core.schema import TableSchema
+
+
+class MedianAggregator(TruthInferenceMethod):
+    """Estimate each continuous cell by the median of its answers."""
+
+    name = "Median"
+
+    def supports_categorical(self) -> bool:
+        return False
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> BaselineResult:
+        estimates: Dict[Tuple[int, int], object] = {}
+        for col in schema.continuous_indices:
+            for row in range(schema.num_rows):
+                cell_answers = answers.answers_for_cell(row, col)
+                if not cell_answers:
+                    continue
+                values = [float(answer.value) for answer in cell_answers]
+                estimates[(row, col)] = float(np.median(values))
+        return BaselineResult(schema, self.name, estimates)

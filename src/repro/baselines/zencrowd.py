@@ -1,0 +1,87 @@
+"""ZenCrowd baseline (Demartini et al., WWW 2012).
+
+A single reliability parameter per worker (probability of answering a
+categorical task correctly), estimated jointly over all categorical columns
+by EM.  Structurally a simplification of Dawid & Skene (diagonal confusion
+matrix shared across labels), which is how the paper describes it
+("a variant of D&S").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, TruthInferenceMethod
+from repro.core.answers import AnswerSet
+from repro.core.schema import TableSchema
+from repro.utils.numerics import normalize_log_probs, safe_log
+
+
+class ZenCrowd(TruthInferenceMethod):
+    """Single-reliability-per-worker EM over all categorical columns."""
+
+    name = "ZenCrowd"
+
+    def __init__(self, max_iterations: int = 50, tolerance: float = 1e-4) -> None:
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+
+    def supports_continuous(self) -> bool:
+        return False
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> BaselineResult:
+        cat_cols = set(schema.categorical_indices)
+        observations = [a for a in answers if a.col in cat_cols]
+        if not observations:
+            return BaselineResult(schema, self.name, {})
+        workers = sorted({a.worker for a in observations})
+        reliability = {worker: 0.7 for worker in workers}
+
+        cells = sorted({(a.row, a.col) for a in observations})
+        by_cell: Dict[Tuple[int, int], list] = {cell: [] for cell in cells}
+        for answer in observations:
+            by_cell[(answer.row, answer.col)].append(answer)
+
+        posteriors: Dict[Tuple[int, int], np.ndarray] = {}
+        for _iteration in range(self.max_iterations):
+            # E-step: per-cell label posteriors.
+            for cell in cells:
+                column = schema.columns[cell[1]]
+                num_labels = column.num_labels
+                log_post = np.zeros(num_labels)
+                for answer in by_cell[cell]:
+                    r = float(np.clip(reliability[answer.worker], 1e-6, 1 - 1e-6))
+                    wrong = (1.0 - r) / max(num_labels - 1, 1)
+                    contribution = np.full(num_labels, safe_log(wrong))
+                    contribution[column.label_index(answer.value)] = np.log(r)
+                    log_post += contribution
+                posteriors[cell] = normalize_log_probs(log_post)
+            # M-step: worker reliabilities.
+            credit = {worker: 0.0 for worker in workers}
+            counts = {worker: 0 for worker in workers}
+            for cell in cells:
+                column = schema.columns[cell[1]]
+                post = posteriors[cell]
+                for answer in by_cell[cell]:
+                    credit[answer.worker] += float(post[column.label_index(answer.value)])
+                    counts[answer.worker] += 1
+            new_reliability = {
+                worker: (credit[worker] + 1.0) / (counts[worker] + 2.0)
+                for worker in workers
+            }
+            delta = max(
+                abs(new_reliability[worker] - reliability[worker]) for worker in workers
+            )
+            reliability = new_reliability
+            if delta < self.tolerance:
+                break
+
+        estimates = {
+            cell: schema.columns[cell[1]].labels[int(np.argmax(post))]
+            for cell, post in posteriors.items()
+        }
+        return BaselineResult(
+            schema, self.name, estimates, worker_weights=dict(reliability)
+        )

@@ -1,0 +1,45 @@
+"""Core T-Crowd algorithms: data model, truth inference and task assignment."""
+
+from repro.core.answers import Answer, AnswerSet, IndexedAnswers
+from repro.core.assignment import (
+    AssignmentPolicy,
+    BatchAssignment,
+    TCrowdAssigner,
+)
+from repro.core.correlation import AttributeCorrelationModel
+from repro.core.entropy import (
+    delta_entropy_comparable,
+    differential_entropy,
+    shannon_entropy,
+    uniform_entropy,
+)
+from repro.core.inference import InferenceResult, TCrowdModel
+from repro.core.information_gain import InformationGainCalculator
+from repro.core.restricted import TCrowdCategoricalOnly, TCrowdContinuousOnly
+from repro.core.schema import AttributeType, Column, TableSchema
+from repro.core.structure_gain import StructureAwareGainCalculator
+from repro.core.worker_model import WorkerModel
+
+__all__ = [
+    "Answer",
+    "AnswerSet",
+    "AssignmentPolicy",
+    "AttributeCorrelationModel",
+    "AttributeType",
+    "BatchAssignment",
+    "Column",
+    "IndexedAnswers",
+    "InferenceResult",
+    "InformationGainCalculator",
+    "StructureAwareGainCalculator",
+    "TableSchema",
+    "TCrowdAssigner",
+    "TCrowdCategoricalOnly",
+    "TCrowdContinuousOnly",
+    "TCrowdModel",
+    "WorkerModel",
+    "delta_entropy_comparable",
+    "differential_entropy",
+    "shannon_entropy",
+    "uniform_entropy",
+]

@@ -1,0 +1,53 @@
+"""Uniform entropy for heterogeneous cells (Section 5.1).
+
+Categorical cells use Shannon entropy, continuous cells differential entropy.
+The two are not directly comparable (differential entropy can be negative),
+but their *differences* are: discretising a continuous variable with bin width
+``Delta`` gives ``H_s(X^Delta) + ln(Delta) -> H_d(X)``, so subtracting two
+differential entropies approximates subtracting two Shannon entropies of the
+discretised variables.  That is why task assignment ranks cells by *delta*
+entropy (information gain) instead of by raw entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.numerics import safe_log
+
+
+def shannon_entropy(probs) -> float:
+    """Shannon entropy (natural log) of a discrete distribution."""
+    probs = np.asarray(probs, dtype=float)
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ConfigurationError("probs must sum to a positive finite value")
+    probs = probs / total
+    return float(-np.sum(probs * safe_log(probs)))
+
+
+def differential_entropy(variance: float) -> float:
+    """Differential entropy of a Gaussian: ``0.5 * ln(2 pi e variance)``."""
+    if not variance > 0:
+        raise ConfigurationError(f"variance must be positive, got {variance}")
+    return 0.5 * float(np.log(2.0 * np.pi * np.e * variance))
+
+
+def uniform_entropy(posterior) -> float:
+    """Entropy ``H(T_ij)`` of either posterior family (Section 5.1)."""
+    if isinstance(posterior, (CategoricalPosterior, GaussianPosterior)):
+        return posterior.entropy()
+    raise ConfigurationError(
+        f"Unsupported posterior type {type(posterior).__name__}"
+    )
+
+
+def delta_entropy_comparable(before: float, after: float) -> float:
+    """Delta entropy ``H(before) - H(after)``.
+
+    Both arguments must be entropies of the *same* cell (hence the same
+    datatype), which is what makes the delta comparable across datatypes.
+    """
+    return before - after

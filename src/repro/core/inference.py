@@ -1,0 +1,523 @@
+"""T-Crowd truth inference (Section 4, Algorithm 1).
+
+The model couples every worker's answers on *all* columns — categorical and
+continuous — through a single per-worker variance ``phi_u``, per-row
+difficulty ``alpha_i`` and per-column difficulty ``beta_j``.  Inference is an
+EM loop:
+
+* **E-step** (Eq. 4): per-cell truth posteriors.  Continuous cells get a
+  Gaussian posterior whose precision is the sum of the answer precisions
+  ``1 / (alpha_i beta_j phi_u)`` plus the prior precision; categorical cells
+  get a multinomial posterior proportional to the product of per-answer
+  likelihoods under Eq. 3.
+* **M-step** (Eq. 5): maximise the expected complete-data log-likelihood over
+  ``alpha, beta, phi`` by gradient ascent.  We optimise in log-space (which
+  guarantees positivity), use analytic gradients, and renormalise the
+  geometric mean of ``alpha`` and ``beta`` to one after each step because the
+  likelihood only depends on the products ``alpha_i beta_j phi_u``.
+
+Continuous columns are internally standardised (z-scored using the collected
+answers) so that a single window parameter ``epsilon`` is meaningful across
+columns of very different scales; all reported posteriors and estimates are
+transformed back to the original scale.  Entropy *differences* — the
+information-gain criterion of Section 5 — are invariant under this affine
+transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.answers import AnswerSet, IndexedAnswers
+from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
+from repro.core.schema import TableSchema
+from repro.core.worker_model import WorkerModel
+from repro.utils.exceptions import InferenceError
+from repro.utils.numerics import normalize_log_probs, safe_erf
+from repro.utils.validation import require_positive
+
+#: Clip range for worker qualities inside likelihood evaluations.
+_Q_FLOOR = 1e-9
+#: Lower bound of any variance handled by the optimiser.
+_VAR_FLOOR = 1e-8
+
+
+@dataclass
+class InferenceResult:
+    """Output of :meth:`TCrowdModel.fit`.
+
+    Exposes the per-cell truth posteriors, the estimated worker qualities and
+    cell difficulties, and the diagnostics (objective trace, iteration count)
+    used by the efficiency experiments (Figure 12).
+    """
+
+    schema: TableSchema
+    worker_model: WorkerModel
+    worker_ids: List[str]
+    alpha: np.ndarray
+    beta: np.ndarray
+    phi: np.ndarray
+    column_scale: np.ndarray
+    column_offset: np.ndarray
+    posteriors: Dict[Tuple[int, int], object]
+    objective_trace: List[float] = field(default_factory=list)
+    n_iterations: int = 0
+    converged: bool = False
+
+    def __post_init__(self) -> None:
+        self._worker_index = {worker: u for u, worker in enumerate(self.worker_ids)}
+
+    # -- truth estimates ----------------------------------------------------
+
+    def posterior(self, row: int, col: int):
+        """Truth posterior of cell ``(row, col)``; prior-based if unanswered."""
+        key = (row, col)
+        if key in self.posteriors:
+            return self.posteriors[key]
+        column = self.schema.columns[col]
+        if column.is_categorical:
+            return CategoricalPosterior.uniform(column.labels)
+        prior_var = max(float(self.column_scale[col]) ** 2, _VAR_FLOOR)
+        return GaussianPosterior(float(self.column_offset[col]), prior_var)
+
+    def estimate(self, row: int, col: int):
+        """Estimated truth ``T^hat_ij`` of cell ``(row, col)``."""
+        return self.posterior(row, col).point_estimate()
+
+    def estimates(self) -> Dict[Tuple[int, int], object]:
+        """Estimated truths for every cell of the table."""
+        return {
+            (i, j): self.estimate(i, j)
+            for i in range(self.schema.num_rows)
+            for j in range(self.schema.num_columns)
+        }
+
+    # -- worker quality -----------------------------------------------------
+
+    def has_worker(self, worker: str) -> bool:
+        """True if the worker contributed at least one answer."""
+        return worker in self._worker_index
+
+    def worker_variance(self, worker: str) -> float:
+        """Inherent (standardised-scale) answer variance ``phi_u``."""
+        try:
+            return float(self.phi[self._worker_index[worker]])
+        except KeyError as exc:
+            raise InferenceError(f"Unknown worker {worker!r}") from exc
+
+    def worker_quality(self, worker: str) -> float:
+        """Unified quality ``q_u = erf(eps / sqrt(2 phi_u))`` in [0, 1]."""
+        return float(
+            self.worker_model.quality_from_variance(self.worker_variance(worker))
+        )
+
+    def worker_qualities(self) -> Dict[str, float]:
+        """Unified quality of every worker."""
+        return {worker: self.worker_quality(worker) for worker in self.worker_ids}
+
+    def cell_quality(self, worker: str, row: int, col: int) -> float:
+        """Per-cell quality ``q^u_ij = erf(eps / sqrt(2 alpha_i beta_j phi_u))``."""
+        variance = self.standardized_answer_variance(worker, row, col)
+        return float(self.worker_model.quality_from_variance(variance))
+
+    def standardized_answer_variance(self, worker: str, row: int, col: int) -> float:
+        """Answer variance ``alpha_i beta_j phi_u`` in the standardised scale."""
+        u = self._worker_index.get(worker)
+        phi = float(self.phi[u]) if u is not None else float(np.median(self.phi))
+        return max(float(self.alpha[row] * self.beta[col] * phi), _VAR_FLOOR)
+
+    def answer_variance(self, worker: str, row: int, col: int) -> float:
+        """Answer variance of ``worker`` on cell ``(row, col)`` in original scale."""
+        scale = float(self.column_scale[col])
+        return self.standardized_answer_variance(worker, row, col) * scale**2
+
+    def row_difficulty(self, row: int) -> float:
+        """Estimated difficulty ``alpha_i`` of row ``row``."""
+        return float(self.alpha[row])
+
+    def column_difficulty(self, col: int) -> float:
+        """Estimated difficulty ``beta_j`` of column ``col``."""
+        return float(self.beta[col])
+
+
+class _Workspace:
+    """Vectorised scratch space shared by the E- and M-steps."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        indexed: IndexedAnswers,
+        standardize_continuous: bool,
+    ) -> None:
+        self.schema = schema
+        self.indexed = indexed
+        num_cols = schema.num_columns
+        # Per-column standardisation (continuous columns only).
+        self.offset = np.zeros(num_cols)
+        self.scale = np.ones(num_cols)
+        if standardize_continuous:
+            for j in schema.continuous_indices:
+                mask = (indexed.cols == j) & indexed.is_continuous
+                if not np.any(mask):
+                    continue
+                values = indexed.values[mask]
+                self.offset[j] = float(np.mean(values))
+                std = float(np.std(values))
+                if std > 1e-9:
+                    self.scale[j] = std
+        # Continuous answers (standardised).
+        cont = indexed.is_continuous
+        self.cont_rows = indexed.rows[cont]
+        self.cont_cols = indexed.cols[cont]
+        self.cont_workers = indexed.workers[cont]
+        self.cont_values = (
+            indexed.values[cont] - self.offset[self.cont_cols]
+        ) / self.scale[self.cont_cols]
+        # Categorical answers.
+        cat = indexed.is_categorical
+        self.cat_rows = indexed.rows[cat]
+        self.cat_cols = indexed.cols[cat]
+        self.cat_workers = indexed.workers[cat]
+        self.cat_labels = indexed.label_indices[cat]
+        # Cell bookkeeping: continuous cells.
+        self.cont_cells, self.cont_cell_of_answer = self._group_cells(
+            self.cont_rows, self.cont_cols
+        )
+        self.cat_cells, self.cat_cell_of_answer = self._group_cells(
+            self.cat_rows, self.cat_cols
+        )
+        self.cat_label_counts = np.array(
+            [schema.columns[c].num_labels for (_r, c) in self.cat_cells], dtype=int
+        )
+        self.max_labels = int(self.cat_label_counts.max()) if len(self.cat_cells) else 0
+        # Weak Gaussian prior for continuous cells (standardised space).
+        self.prior_mean = 0.0
+        self.prior_variance = 10.0
+        # E-step outputs, filled in by TCrowdModel._e_step.
+        self.cont_post_mean = np.zeros(len(self.cont_cells))
+        self.cont_post_var = np.ones(len(self.cont_cells))
+        self.cat_post = (
+            np.zeros((len(self.cat_cells), self.max_labels))
+            if self.max_labels
+            else np.zeros((0, 0))
+        )
+
+    @staticmethod
+    def _group_cells(rows: np.ndarray, cols: np.ndarray):
+        """Assign a dense id to each distinct ``(row, col)`` pair."""
+        cells: List[Tuple[int, int]] = []
+        cell_index: Dict[Tuple[int, int], int] = {}
+        cell_of_answer = np.empty(len(rows), dtype=np.int64)
+        for idx, (row, col) in enumerate(zip(rows, cols)):
+            key = (int(row), int(col))
+            cell_id = cell_index.get(key)
+            if cell_id is None:
+                cell_id = len(cells)
+                cell_index[key] = cell_id
+                cells.append(key)
+            cell_of_answer[idx] = cell_id
+        return cells, cell_of_answer
+
+
+class TCrowdModel:
+    """The T-Crowd truth-inference model (Algorithm 1).
+
+    Parameters
+    ----------
+    epsilon:
+        Width of the quality window in Eq. 2, in standardised units.
+    max_iterations:
+        Maximum number of EM iterations (the paper reports convergence in
+        fewer than 20).
+    tolerance:
+        EM stops when the largest absolute change of any parameter (in log
+        space) falls below this threshold.
+    m_step_iterations:
+        Number of L-BFGS steps used to maximise Eq. 5 in each M-step.
+    difficulty_regularization:
+        Strength of the quadratic prior pulling ``log alpha`` and ``log beta``
+        toward zero; keeps difficulties anchored for rows/columns with few
+        answers.
+    phi_regularization:
+        (Weaker) quadratic prior on ``log phi``.
+    use_difficulty:
+        If ``False``, fixes ``alpha_i = beta_j = 1`` (ablation of Section 4.2).
+    standardize_continuous:
+        Internally z-score continuous columns (recommended; see module docs).
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        max_iterations: int = 50,
+        tolerance: float = 1e-5,
+        m_step_iterations: int = 30,
+        difficulty_regularization: float = 0.1,
+        phi_regularization: float = 1e-3,
+        use_difficulty: bool = True,
+        standardize_continuous: bool = True,
+        seed=None,
+    ) -> None:
+        require_positive(epsilon, "epsilon")
+        require_positive(max_iterations, "max_iterations")
+        require_positive(tolerance, "tolerance")
+        require_positive(m_step_iterations, "m_step_iterations")
+        self.worker_model = WorkerModel(epsilon)
+        self.epsilon = float(epsilon)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.m_step_iterations = int(m_step_iterations)
+        self.difficulty_regularization = float(difficulty_regularization)
+        self.phi_regularization = float(phi_regularization)
+        self.use_difficulty = bool(use_difficulty)
+        self.standardize_continuous = bool(standardize_continuous)
+        self.seed = seed
+
+    # -- public API ----------------------------------------------------------
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> InferenceResult:
+        """Run EM truth inference over ``answers`` and return the result."""
+        if len(answers) == 0:
+            raise InferenceError("Cannot run truth inference on an empty answer set")
+        indexed = answers.indexed()
+        ws = _Workspace(schema, indexed, self.standardize_continuous)
+        num_rows = schema.num_rows
+        num_cols = schema.num_columns
+        num_workers = indexed.num_workers
+
+        log_alpha = np.zeros(num_rows)
+        log_beta = np.zeros(num_cols)
+        log_phi = np.zeros(num_workers)
+
+        objective_trace: List[float] = []
+        converged = False
+        iteration = 0
+        self._e_step(ws, log_alpha, log_beta, log_phi)
+        for iteration in range(1, self.max_iterations + 1):
+            previous = np.concatenate([log_alpha, log_beta, log_phi])
+            log_alpha, log_beta, log_phi = self._m_step(
+                ws, log_alpha, log_beta, log_phi
+            )
+            self._e_step(ws, log_alpha, log_beta, log_phi)
+            objective_trace.append(
+                self._objective(ws, log_alpha, log_beta, log_phi)
+            )
+            current = np.concatenate([log_alpha, log_beta, log_phi])
+            if np.max(np.abs(current - previous)) < self.tolerance:
+                converged = True
+                break
+
+        posteriors = self._build_posteriors(ws)
+        return InferenceResult(
+            schema=schema,
+            worker_model=self.worker_model,
+            worker_ids=list(indexed.worker_ids),
+            alpha=np.exp(log_alpha),
+            beta=np.exp(log_beta),
+            phi=np.exp(log_phi),
+            column_scale=ws.scale.copy(),
+            column_offset=ws.offset.copy(),
+            posteriors=posteriors,
+            objective_trace=objective_trace,
+            n_iterations=iteration,
+            converged=converged,
+        )
+
+    # -- E-step ---------------------------------------------------------------
+
+    def _answer_variances(self, ws, log_alpha, log_beta, log_phi, rows, cols, workers):
+        """Per-answer variance ``alpha_i beta_j phi_u`` (standardised space)."""
+        log_v = log_alpha[rows] + log_beta[cols] + log_phi[workers]
+        return np.maximum(np.exp(log_v), _VAR_FLOOR)
+
+    def _e_step(self, ws: _Workspace, log_alpha, log_beta, log_phi) -> None:
+        """Compute per-cell truth posteriors given the current parameters."""
+        # Continuous cells: Gaussian posterior per Eq. 4.
+        if len(ws.cont_cells):
+            variances = self._answer_variances(
+                ws, log_alpha, log_beta, log_phi,
+                ws.cont_rows, ws.cont_cols, ws.cont_workers,
+            )
+            weights = 1.0 / variances
+            sum_w = np.zeros(len(ws.cont_cells))
+            sum_wa = np.zeros(len(ws.cont_cells))
+            np.add.at(sum_w, ws.cont_cell_of_answer, weights)
+            np.add.at(sum_wa, ws.cont_cell_of_answer, weights * ws.cont_values)
+            prior_precision = 1.0 / ws.prior_variance
+            post_precision = sum_w + prior_precision
+            ws.cont_post_var = 1.0 / post_precision
+            ws.cont_post_mean = (
+                sum_wa + ws.prior_mean * prior_precision
+            ) * ws.cont_post_var
+        # Categorical cells: multinomial posterior per Eq. 4.
+        if len(ws.cat_cells):
+            variances = self._answer_variances(
+                ws, log_alpha, log_beta, log_phi,
+                ws.cat_rows, ws.cat_cols, ws.cat_workers,
+            )
+            quality = np.clip(
+                safe_erf(self.epsilon / np.sqrt(2.0 * variances)),
+                _Q_FLOOR,
+                1.0 - _Q_FLOOR,
+            )
+            label_counts = ws.cat_label_counts[ws.cat_cell_of_answer]
+            log_correct = np.log(quality)
+            log_wrong = np.log((1.0 - quality) / np.maximum(label_counts - 1, 1))
+            base = np.zeros(len(ws.cat_cells))
+            np.add.at(base, ws.cat_cell_of_answer, log_wrong)
+            delta = np.zeros((len(ws.cat_cells), ws.max_labels))
+            np.add.at(
+                delta,
+                (ws.cat_cell_of_answer, ws.cat_labels),
+                log_correct - log_wrong,
+            )
+            log_post = base[:, None] + delta
+            # Mask out label slots beyond each cell's label-set size.
+            label_grid = np.arange(ws.max_labels)[None, :]
+            invalid = label_grid >= ws.cat_label_counts[:, None]
+            log_post[invalid] = -np.inf
+            ws.cat_post = normalize_log_probs(log_post, axis=1)
+            ws.cat_post[invalid] = 0.0
+
+    # -- M-step ---------------------------------------------------------------
+
+    def _pack(self, log_alpha, log_beta, log_phi) -> np.ndarray:
+        if self.use_difficulty:
+            return np.concatenate([log_alpha, log_beta, log_phi])
+        return log_phi.copy()
+
+    def _unpack(self, theta, num_rows, num_cols, num_workers):
+        if self.use_difficulty:
+            log_alpha = theta[:num_rows]
+            log_beta = theta[num_rows:num_rows + num_cols]
+            log_phi = theta[num_rows + num_cols:]
+        else:
+            log_alpha = np.zeros(num_rows)
+            log_beta = np.zeros(num_cols)
+            log_phi = theta
+        return log_alpha, log_beta, log_phi
+
+    def _objective_and_grad(self, theta, ws: _Workspace, shapes):
+        """Return ``(-Q, -dQ/dtheta)`` for the L-BFGS maximisation of Eq. 5."""
+        num_rows, num_cols, num_workers = shapes
+        log_alpha, log_beta, log_phi = self._unpack(
+            theta, num_rows, num_cols, num_workers
+        )
+        objective = 0.0
+        grad_alpha = np.zeros(num_rows)
+        grad_beta = np.zeros(num_cols)
+        grad_phi = np.zeros(num_workers)
+
+        # Continuous answers.
+        if len(ws.cont_cells):
+            variances = self._answer_variances(
+                ws, log_alpha, log_beta, log_phi,
+                ws.cont_rows, ws.cont_cols, ws.cont_workers,
+            )
+            residual_sq = (
+                ws.cont_values - ws.cont_post_mean[ws.cont_cell_of_answer]
+            ) ** 2 + ws.cont_post_var[ws.cont_cell_of_answer]
+            objective += float(
+                np.sum(
+                    -0.5 * np.log(2.0 * np.pi * variances)
+                    - residual_sq / (2.0 * variances)
+                )
+            )
+            dq_dv = -0.5 / variances + residual_sq / (2.0 * variances**2)
+            contribution = dq_dv * variances  # d/d(log-parameter)
+            np.add.at(grad_alpha, ws.cont_rows, contribution)
+            np.add.at(grad_beta, ws.cont_cols, contribution)
+            np.add.at(grad_phi, ws.cont_workers, contribution)
+
+        # Categorical answers.
+        if len(ws.cat_cells):
+            variances = self._answer_variances(
+                ws, log_alpha, log_beta, log_phi,
+                ws.cat_rows, ws.cat_cols, ws.cat_workers,
+            )
+            u_arg = self.epsilon / np.sqrt(2.0 * variances)
+            quality = np.clip(safe_erf(u_arg), _Q_FLOOR, 1.0 - _Q_FLOOR)
+            label_counts = ws.cat_label_counts[ws.cat_cell_of_answer]
+            p_correct = ws.cat_post[ws.cat_cell_of_answer, ws.cat_labels]
+            objective += float(
+                np.sum(
+                    p_correct * np.log(quality)
+                    + (1.0 - p_correct)
+                    * (np.log(1.0 - quality) - np.log(np.maximum(label_counts - 1, 1)))
+                )
+            )
+            dq_dv = -(u_arg / (variances * np.sqrt(np.pi))) * np.exp(-u_arg**2)
+            dobj_dq = p_correct / quality - (1.0 - p_correct) / (1.0 - quality)
+            contribution = dobj_dq * dq_dv * variances
+            np.add.at(grad_alpha, ws.cat_rows, contribution)
+            np.add.at(grad_beta, ws.cat_cols, contribution)
+            np.add.at(grad_phi, ws.cat_workers, contribution)
+
+        # Quadratic priors on the log-parameters (keep them anchored).
+        reg_ab = self.difficulty_regularization
+        reg_phi = self.phi_regularization
+        objective -= 0.5 * reg_ab * float(np.sum(log_alpha**2) + np.sum(log_beta**2))
+        objective -= 0.5 * reg_phi * float(np.sum(log_phi**2))
+        grad_alpha -= reg_ab * log_alpha
+        grad_beta -= reg_ab * log_beta
+        grad_phi -= reg_phi * log_phi
+
+        if self.use_difficulty:
+            grad = np.concatenate([grad_alpha, grad_beta, grad_phi])
+        else:
+            grad = grad_phi
+        return -objective, -grad
+
+    def _m_step(self, ws: _Workspace, log_alpha, log_beta, log_phi):
+        """Maximise Eq. 5 over the (log) parameters by L-BFGS."""
+        shapes = (len(log_alpha), len(log_beta), len(log_phi))
+        theta0 = self._pack(log_alpha, log_beta, log_phi)
+        result = optimize.minimize(
+            self._objective_and_grad,
+            theta0,
+            args=(ws, shapes),
+            jac=True,
+            method="L-BFGS-B",
+            bounds=[(-10.0, 10.0)] * len(theta0),
+            options={"maxiter": self.m_step_iterations},
+        )
+        log_alpha, log_beta, log_phi = self._unpack(result.x, *shapes)
+        # Remove the scale ambiguity: the likelihood only sees the products
+        # alpha_i * beta_j * phi_u, so re-centre alpha and beta at geometric
+        # mean one and fold the shift into phi.
+        if self.use_difficulty:
+            mean_alpha = float(np.mean(log_alpha))
+            mean_beta = float(np.mean(log_beta))
+            log_alpha = log_alpha - mean_alpha
+            log_beta = log_beta - mean_beta
+            log_phi = log_phi + mean_alpha + mean_beta
+        return log_alpha, log_beta, log_phi
+
+    def _objective(self, ws: _Workspace, log_alpha, log_beta, log_phi) -> float:
+        """Expected complete-data log-likelihood at the current parameters."""
+        shapes = (len(log_alpha), len(log_beta), len(log_phi))
+        theta = self._pack(log_alpha, log_beta, log_phi)
+        negative, _grad = self._objective_and_grad(theta, ws, shapes)
+        return -float(negative)
+
+    # -- result assembly -------------------------------------------------------
+
+    def _build_posteriors(self, ws: _Workspace) -> Dict[Tuple[int, int], object]:
+        """Convert E-step outputs to posterior objects in the original scale."""
+        posteriors: Dict[Tuple[int, int], object] = {}
+        for cell_id, (row, col) in enumerate(ws.cont_cells):
+            scale = float(ws.scale[col])
+            offset = float(ws.offset[col])
+            posteriors[(row, col)] = GaussianPosterior(
+                float(ws.cont_post_mean[cell_id]) * scale + offset,
+                max(float(ws.cont_post_var[cell_id]) * scale**2, _VAR_FLOOR),
+            )
+        for cell_id, (row, col) in enumerate(ws.cat_cells):
+            column = ws.schema.columns[col]
+            probs = ws.cat_post[cell_id, : column.num_labels]
+            posteriors[(row, col)] = CategoricalPosterior(column.labels, probs)
+        return posteriors

@@ -1,0 +1,148 @@
+"""Per-cell truth posteriors ``T_ij`` (Section 4.3, E-step output).
+
+Two posterior families are used by the paper:
+
+* continuous cells carry a Gaussian posterior ``N(Tmu_ij, Tphi_ij)``;
+* categorical cells carry a multinomial posterior ``P(T_ij = z)`` over the
+  column's label set.
+
+Both support the operations that truth inference and task assignment need:
+entropy, point estimates, and the *incremental* Bayesian update used when
+the information-gain calculator hypothesises one extra answer (Section 5.1,
+"we accelerate by updating the parameters related to this answer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.numerics import normalize_log_probs, safe_log
+
+
+@dataclass(frozen=True)
+class GaussianPosterior:
+    """Gaussian truth posterior for a continuous cell."""
+
+    mean: float
+    variance: float
+
+    def __post_init__(self) -> None:
+        if not self.variance > 0:
+            raise ConfigurationError(
+                f"Gaussian posterior variance must be positive, got {self.variance}"
+            )
+
+    @property
+    def is_categorical(self) -> bool:
+        """False: this is the continuous-cell posterior."""
+        return False
+
+    def entropy(self) -> float:
+        """Differential entropy ``0.5 * ln(2 pi e variance)``."""
+        return 0.5 * float(np.log(2.0 * np.pi * np.e * self.variance))
+
+    def point_estimate(self) -> float:
+        """The estimated truth ``T^hat_ij = Tmu_ij``."""
+        return self.mean
+
+    def updated_with_answer(self, value: float, answer_variance: float) -> "GaussianPosterior":
+        """Posterior after observing one answer with the given noise variance."""
+        if not answer_variance > 0:
+            raise ConfigurationError(
+                f"answer_variance must be positive, got {answer_variance}"
+            )
+        precision = 1.0 / self.variance + 1.0 / answer_variance
+        new_variance = 1.0 / precision
+        new_mean = (self.mean / self.variance + value / answer_variance) * new_variance
+        return GaussianPosterior(new_mean, new_variance)
+
+    def updated_variance(self, answer_variance: float) -> float:
+        """Posterior variance after one more answer (independent of its value)."""
+        return 1.0 / (1.0 / self.variance + 1.0 / answer_variance)
+
+    def predictive_variance(self, answer_variance: float) -> float:
+        """Variance of the predictive distribution of a new answer."""
+        return self.variance + answer_variance
+
+    def scaled(self, scale: float, offset: float) -> "GaussianPosterior":
+        """Affine transform ``x -> x * scale + offset`` of the posterior."""
+        return GaussianPosterior(self.mean * scale + offset, self.variance * scale**2)
+
+
+@dataclass(frozen=True)
+class CategoricalPosterior:
+    """Multinomial truth posterior for a categorical cell."""
+
+    labels: tuple
+    probs: np.ndarray
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probs, dtype=float)
+        if probs.shape != (len(self.labels),):
+            raise ConfigurationError(
+                "probs must have one entry per label: "
+                f"{probs.shape} vs {len(self.labels)} labels"
+            )
+        total = probs.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ConfigurationError("probs must sum to a positive finite value")
+        object.__setattr__(self, "probs", probs / total)
+
+    @property
+    def is_categorical(self) -> bool:
+        """True: this is the categorical-cell posterior."""
+        return True
+
+    @property
+    def num_labels(self) -> int:
+        """Size of the label set."""
+        return len(self.labels)
+
+    @classmethod
+    def uniform(cls, labels) -> "CategoricalPosterior":
+        """Uninformative posterior (the paper's uniform prior)."""
+        labels = tuple(labels)
+        return cls(labels, np.full(len(labels), 1.0 / len(labels)))
+
+    def entropy(self) -> float:
+        """Shannon entropy ``-sum_z P(z) ln P(z)``."""
+        probs = self.probs
+        return float(-np.sum(probs * safe_log(probs)))
+
+    def point_estimate(self):
+        """The estimated truth ``argmax_z P(T_ij = z)``."""
+        return self.labels[int(np.argmax(self.probs))]
+
+    def prob_of(self, label) -> float:
+        """Posterior probability of ``label``."""
+        return float(self.probs[self.labels.index(label)])
+
+    def updated_with_answer(self, label_index: int, quality: float) -> "CategoricalPosterior":
+        """Posterior after observing an answer equal to ``labels[label_index]``.
+
+        ``quality`` is the per-worker-per-cell quality ``q^u_ij`` of the
+        answering worker; the likelihood follows Eq. 3.
+        """
+        if not 0 <= label_index < self.num_labels:
+            raise ConfigurationError(
+                f"label_index {label_index} out of range for {self.num_labels} labels"
+            )
+        quality = float(np.clip(quality, 1e-9, 1.0 - 1e-9))
+        wrong = (1.0 - quality) / max(self.num_labels - 1, 1)
+        log_like = np.full(self.num_labels, np.log(wrong))
+        log_like[label_index] = np.log(quality)
+        log_post = safe_log(self.probs) + log_like
+        return CategoricalPosterior(self.labels, normalize_log_probs(log_post))
+
+    def predictive_answer_probs(self, quality: float) -> np.ndarray:
+        """Distribution of the next answer by a worker with quality ``quality``.
+
+        ``P(a = z') = sum_z P(T = z) P(a = z' | T = z)`` under Eq. 3.
+        """
+        quality = float(np.clip(quality, 1e-9, 1.0 - 1e-9))
+        wrong = (1.0 - quality) / max(self.num_labels - 1, 1)
+        # P(a = z') = q * P(T = z') + wrong * (1 - P(T = z'))
+        return quality * self.probs + wrong * (1.0 - self.probs)

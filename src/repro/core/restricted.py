@@ -1,0 +1,48 @@
+"""Restricted T-Crowd variants used in Table 7 (TC-onlyCate / TC-onlyCont).
+
+These run the full T-Crowd inference of Section 4 but only on the answers of
+one datatype, exactly like the paper's constrained versions.  They quantify
+how much the *unified* worker quality (learning from both datatypes at once)
+contributes to accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.core.answers import AnswerSet
+from repro.core.inference import InferenceResult, TCrowdModel
+from repro.core.schema import TableSchema
+from repro.utils.exceptions import InferenceError
+
+
+class TCrowdCategoricalOnly:
+    """T-Crowd restricted to the categorical columns of the table."""
+
+    def __init__(self, **model_kwargs) -> None:
+        self._model = TCrowdModel(**model_kwargs)
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> InferenceResult:
+        """Run inference using only answers to categorical columns."""
+        columns = schema.categorical_indices
+        if not columns:
+            raise InferenceError("The schema has no categorical columns")
+        restricted = answers.restricted_to_columns(columns)
+        if len(restricted) == 0:
+            raise InferenceError("No answers to categorical columns")
+        return self._model.fit(schema, restricted)
+
+
+class TCrowdContinuousOnly:
+    """T-Crowd restricted to the continuous columns of the table."""
+
+    def __init__(self, **model_kwargs) -> None:
+        self._model = TCrowdModel(**model_kwargs)
+
+    def fit(self, schema: TableSchema, answers: AnswerSet) -> InferenceResult:
+        """Run inference using only answers to continuous columns."""
+        columns = schema.continuous_indices
+        if not columns:
+            raise InferenceError("The schema has no continuous columns")
+        restricted = answers.restricted_to_columns(columns)
+        if len(restricted) == 0:
+            raise InferenceError("No answers to continuous columns")
+        return self._model.fit(schema, restricted)

@@ -1,0 +1,94 @@
+"""Unified worker quality model of Section 4.1 and 4.2.
+
+A worker ``u`` has a single latent answer variance ``phi_u``; answering cell
+``c_ij`` (row difficulty ``alpha_i``, column difficulty ``beta_j``) the
+effective variance is ``phi_uij = alpha_i * beta_j * phi_u``.  The worker's
+unified quality is the probability mass of the Gaussian answer distribution
+within ``eps`` of the truth:
+
+    q_uij = erf( eps / sqrt(2 * alpha_i * beta_j * phi_u) )        (Eq. 2)
+
+which serves both as the probability of a correct categorical answer (Eq. 3)
+and as the summary of the continuous-answer variance (Eq. 1).  The same model
+is used generatively by the dataset simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+from repro.utils.numerics import safe_erf
+from repro.utils.validation import require_positive, require_probability
+
+
+@dataclass(frozen=True)
+class WorkerModel:
+    """The erf-based unified quality model with window parameter ``eps``."""
+
+    epsilon: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.epsilon, "epsilon")
+
+    # -- quality <-> variance ------------------------------------------------
+
+    def quality_from_variance(self, variance):
+        """Unified quality ``q = erf(eps / sqrt(2 * variance))`` (Eq. 2)."""
+        variance = np.asarray(variance, dtype=float)
+        return safe_erf(self.epsilon / np.sqrt(2.0 * variance))
+
+    def variance_from_quality(self, quality) -> float:
+        """Invert Eq. 2: the answer variance that yields ``quality``."""
+        require_probability(quality, "quality")
+        quality = float(np.clip(quality, 1e-9, 1.0 - 1e-9))
+        return float((self.epsilon / (np.sqrt(2.0) * special.erfinv(quality))) ** 2)
+
+    def answer_variance(self, alpha, beta, phi):
+        """Effective answer variance ``phi_uij = alpha_i * beta_j * phi_u``."""
+        return np.asarray(alpha, dtype=float) * np.asarray(beta, dtype=float) * np.asarray(phi, dtype=float)
+
+    def cell_quality(self, alpha, beta, phi):
+        """Per-cell quality ``q_uij = erf(eps / sqrt(2 alpha beta phi))``."""
+        return self.quality_from_variance(self.answer_variance(alpha, beta, phi))
+
+    # -- likelihoods ---------------------------------------------------------
+
+    def continuous_log_likelihood(self, value, truth, variance):
+        """Log of Eq. 1 evaluated at ``value``."""
+        variance = np.asarray(variance, dtype=float)
+        diff = np.asarray(value, dtype=float) - np.asarray(truth, dtype=float)
+        return -0.5 * np.log(2.0 * np.pi * variance) - diff**2 / (2.0 * variance)
+
+    def categorical_log_likelihood(self, is_correct, quality, num_labels):
+        """Log of Eq. 3: ``log q`` if the answer equals the truth, else
+        ``log((1 - q) / (|L| - 1))``."""
+        quality = np.clip(np.asarray(quality, dtype=float), 1e-12, 1.0 - 1e-12)
+        wrong = (1.0 - quality) / max(num_labels - 1, 1)
+        is_correct = np.asarray(is_correct, dtype=bool)
+        return np.where(is_correct, np.log(quality), np.log(wrong))
+
+    # -- generative sampling (used by the platform / dataset simulators) ------
+
+    def sample_continuous_answer(self, rng: np.random.Generator, truth: float, variance: float) -> float:
+        """Draw one continuous answer from Eq. 1."""
+        require_positive(variance, "variance")
+        return float(rng.normal(truth, np.sqrt(variance)))
+
+    def sample_categorical_answer(
+        self,
+        rng: np.random.Generator,
+        truth_index: int,
+        quality: float,
+        num_labels: int,
+    ) -> int:
+        """Draw one categorical answer (as a label index) from Eq. 3."""
+        quality = float(np.clip(quality, 0.0, 1.0))
+        if rng.random() < quality:
+            return truth_index
+        others = [z for z in range(num_labels) if z != truth_index]
+        if not others:
+            return truth_index
+        return int(rng.choice(others))

@@ -1,0 +1,41 @@
+"""Datasets: container, synthetic generator, simulated real datasets, noise.
+
+The three "real" datasets of the paper (Celebrity, Restaurant, Emotion) are
+simulated with the published shapes and answer redundancies (see Table 6 and
+DESIGN.md §4 for the substitution rationale); the synthetic generator follows
+Section 6.5.1 and the noise injection follows Section 6.5.2.
+"""
+
+from repro.datasets.base import CrowdDataset
+from repro.datasets.celebrity import celebrity_schema, load_celebrity
+from repro.datasets.emotion import emotion_schema, load_emotion
+from repro.datasets.noise import add_noise
+from repro.datasets.restaurant import load_restaurant, restaurant_schema
+from repro.datasets.synthetic import build_dataset, draw_difficulties, generate_synthetic
+from repro.datasets.workers import AnswerOracle, SimulatedWorker, WorkerPool
+
+__all__ = [
+    "AnswerOracle",
+    "CrowdDataset",
+    "SimulatedWorker",
+    "WorkerPool",
+    "add_noise",
+    "build_dataset",
+    "celebrity_schema",
+    "draw_difficulties",
+    "emotion_schema",
+    "generate_synthetic",
+    "load_celebrity",
+    "load_emotion",
+    "load_restaurant",
+    "restaurant_schema",
+]
+
+
+def load_all_real(seed: int = 7) -> list:
+    """Load the three simulated real datasets (Celebrity, Restaurant, Emotion)."""
+    return [
+        load_celebrity(seed=seed),
+        load_restaurant(seed=seed + 1),
+        load_emotion(seed=seed + 2),
+    ]

@@ -1,0 +1,118 @@
+"""Dataset container shared by all experiments.
+
+A :class:`CrowdDataset` bundles the table schema, the (latent) ground truth,
+the collected answers, and — when the dataset was simulated — the
+:class:`~repro.datasets.workers.AnswerOracle` that can generate additional
+answers on demand (used by the task-assignment experiments) together with the
+latent worker variances (used by the worker-quality case studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.answers import AnswerSet
+from repro.core.schema import TableSchema
+from repro.datasets.workers import AnswerOracle, WorkerPool
+from repro.utils.exceptions import DataError
+
+
+@dataclass
+class CrowdDataset:
+    """A crowdsourced table: schema, ground truth, answers, and provenance."""
+
+    name: str
+    schema: TableSchema
+    ground_truth: Dict[Tuple[int, int], object]
+    answers: AnswerSet
+    oracle: Optional[AnswerOracle] = None
+    worker_pool: Optional[WorkerPool] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        expected = self.schema.num_cells
+        if len(self.ground_truth) != expected:
+            raise DataError(
+                f"ground_truth must cover every cell ({expected}), "
+                f"got {len(self.ground_truth)}"
+            )
+
+    # -- ground truth ---------------------------------------------------------
+
+    def truth(self, row: int, col: int):
+        """Ground-truth value ``T*_ij`` of cell ``(row, col)``."""
+        try:
+            return self.ground_truth[(row, col)]
+        except KeyError as exc:
+            raise DataError(f"No ground truth for cell ({row}, {col})") from exc
+
+    def categorical_cells(self):
+        """All cells belonging to categorical columns."""
+        cat_cols = set(self.schema.categorical_indices)
+        return [(i, j) for (i, j) in self.schema.cells() if j in cat_cols]
+
+    def continuous_cells(self):
+        """All cells belonging to continuous columns."""
+        cont_cols = set(self.schema.continuous_indices)
+        return [(i, j) for (i, j) in self.schema.cells() if j in cont_cols]
+
+    # -- answers ----------------------------------------------------------------
+
+    @property
+    def num_answers(self) -> int:
+        """Total number of collected answers."""
+        return len(self.answers)
+
+    @property
+    def answers_per_task(self) -> float:
+        """Average number of answers per cell (Table 6's '#Ans. per Task')."""
+        return self.answers.mean_answers_per_cell()
+
+    @property
+    def num_workers(self) -> int:
+        """Number of distinct workers who contributed answers."""
+        return self.answers.num_workers
+
+    def column_truth_std(self, col: int) -> float:
+        """Standard deviation of the ground truth of a continuous column.
+
+        Used by MNAD to normalise per-column RMSE.
+        """
+        column = self.schema.columns[col]
+        if not column.is_continuous:
+            raise DataError(f"Column {column.name!r} is not continuous")
+        values = np.array(
+            [float(self.ground_truth[(i, col)]) for i in range(self.schema.num_rows)]
+        )
+        return float(np.std(values))
+
+    # -- derived datasets ----------------------------------------------------------
+
+    def with_answers(self, answers: AnswerSet, name_suffix: str = "") -> "CrowdDataset":
+        """Return a copy of this dataset with a different answer set."""
+        return CrowdDataset(
+            name=self.name + name_suffix,
+            schema=self.schema,
+            ground_truth=dict(self.ground_truth),
+            answers=answers,
+            oracle=self.oracle,
+            worker_pool=self.worker_pool,
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Table 6-style summary statistics."""
+        return {
+            "name": self.name,
+            "rows": self.schema.num_rows,
+            "columns": self.schema.num_columns,
+            "cells": self.schema.num_cells,
+            "categorical_columns": len(self.schema.categorical_indices),
+            "continuous_columns": len(self.schema.continuous_indices),
+            "answers": self.num_answers,
+            "answers_per_task": round(self.answers_per_task, 3),
+            "workers": self.num_workers,
+        }

@@ -1,0 +1,98 @@
+"""Simulated Restaurant dataset (Table 6 of the paper).
+
+The original Restaurant dataset shows AMT workers a restaurant review and
+asks for the aspect, attribute and sentiment of the review (categorical) and
+for the start/end character positions of the review's target (continuous);
+203 entities, 5 attributes, 4 answers per task.  :func:`load_restaurant`
+synthesises a dataset with the same shape, a *harder* worker pool (the paper
+reports ~19-25% error rates), and strongly correlated StartTarget/EndTarget
+errors — the correlation the paper's Figure 6 documents and the
+structure-aware assignment exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.schema import Column, TableSchema
+from repro.datasets.base import CrowdDataset
+from repro.datasets.synthetic import build_dataset
+from repro.datasets.workers import WorkerPool
+from repro.utils.rng import as_generator
+
+#: Table 6 statistics.
+NUM_ROWS = 203
+ANSWERS_PER_TASK = 4
+NUM_WORKERS = 50
+
+_ASPECTS = ("food", "service", "ambience", "price", "location", "other")
+_ATTRIBUTES = ("quality", "style", "price", "general", "options")
+_SENTIMENTS = ("negative", "neutral", "positive")
+
+
+def restaurant_schema(num_rows: int = NUM_ROWS) -> TableSchema:
+    """Schema of the Restaurant table (3 categorical + 2 continuous columns)."""
+    columns = (
+        Column.categorical("aspect", _ASPECTS),
+        Column.categorical("attribute", _ATTRIBUTES),
+        Column.categorical("sentiment", _SENTIMENTS),
+        Column.continuous("start_target", (0.0, 200.0)),
+        Column.continuous("end_target", (0.0, 220.0)),
+    )
+    return TableSchema.build("review", columns, num_rows)
+
+
+def load_restaurant(
+    seed=11,
+    answers_per_task: int = ANSWERS_PER_TASK,
+    num_workers: int = NUM_WORKERS,
+    num_rows: int = NUM_ROWS,
+) -> CrowdDataset:
+    """Build the simulated Restaurant dataset (203 x 5 cells, 4 answers/task).
+
+    ``num_rows`` can be reduced for quick experiment / test runs.
+    """
+    rng = as_generator(seed)
+    schema = restaurant_schema(num_rows)
+    ground_truth: Dict[Tuple[int, int], object] = {}
+    start_col = schema.column_index("start_target")
+    end_col = schema.column_index("end_target")
+    for i in range(schema.num_rows):
+        for j, column in enumerate(schema.columns):
+            if column.is_categorical:
+                ground_truth[(i, j)] = column.labels[int(rng.integers(column.num_labels))]
+        # The target span: start uniform, end a short distance after it, so
+        # the two continuous truths are themselves correlated (as in a real
+        # character-offset annotation task).
+        start = float(rng.uniform(0.0, 180.0))
+        ground_truth[(i, start_col)] = start
+        ground_truth[(i, end_col)] = start + float(rng.uniform(5.0, 40.0))
+    # Harder crowd: the paper reports ~19-25% categorical error rates here.
+    pool = WorkerPool.generate(
+        num_workers,
+        seed=rng,
+        median_variance=1.1,
+        variance_spread=1.1,
+        spammer_fraction=0.12,
+        spammer_contamination=0.6,
+        base_contamination=0.04,
+    )
+    return build_dataset(
+        name="Restaurant",
+        schema=schema,
+        ground_truth=ground_truth,
+        pool=pool,
+        answers_per_task=answers_per_task,
+        seed=rng,
+        average_difficulty=1.0,
+        difficulty_sigma=0.3,
+        # Strong per-row familiarity: a worker who misreads the review gets
+        # every attribute of it wrong, which yields the Aspect/Sentiment and
+        # StartTarget/EndTarget correlations of Figure 6.
+        row_familiarity_sigma=0.35,
+        row_confusion_probability=0.15,
+        row_confusion_multiplier=8.0,
+        row_shift_sigma=0.7,
+        noise_fraction=1.0,
+        metadata={"kind": "simulated-real", "paper_table": "Table 6"},
+    )

@@ -1,0 +1,202 @@
+"""Synthetic tabular crowdsourcing data (Section 6.5.1) and the shared builder.
+
+:func:`generate_synthetic` reproduces the paper's generator: a table with a
+configurable number of columns, categorical-to-continuous ratio and average
+cell difficulty; categorical label-set sizes drawn from U(2, 10); continuous
+domains of [0, 1000]; ground truths drawn uniformly from the domain; and
+answers produced by a worker pool through the paper's worker model.
+
+:func:`build_dataset` is the lower-level builder also used by the simulated
+Celebrity / Restaurant / Emotion datasets: given a schema, ground truth and a
+worker pool it draws row/column difficulties, allocates HITs (one HIT = all
+cells of one row, matching the paper's AMT setup) and collects the initial
+answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.answers import AnswerSet
+from repro.core.schema import Column, TableSchema
+from repro.datasets.base import CrowdDataset
+from repro.datasets.workers import AnswerOracle, WorkerPool
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import require_in_range, require_positive
+
+
+def draw_difficulties(
+    count: int,
+    rng: np.random.Generator,
+    sigma: float = 0.25,
+) -> np.ndarray:
+    """Draw log-normal difficulty factors with geometric mean one."""
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    values = np.exp(rng.normal(0.0, sigma, count))
+    return values / np.exp(np.mean(np.log(values)))
+
+
+def build_dataset(
+    name: str,
+    schema: TableSchema,
+    ground_truth: Dict[Tuple[int, int], object],
+    pool: WorkerPool,
+    answers_per_task: int,
+    seed=None,
+    average_difficulty: float = 1.0,
+    difficulty_sigma: float = 0.25,
+    row_familiarity_sigma: float = 0.35,
+    row_confusion_probability: float = 0.1,
+    row_confusion_multiplier: float = 8.0,
+    row_shift_sigma: float = 0.4,
+    noise_fraction: float = 1.2,
+    bias_fraction: float = 0.25,
+    epsilon: float = 1.0,
+    metadata: Optional[Dict[str, object]] = None,
+) -> CrowdDataset:
+    """Build a :class:`CrowdDataset` by simulating the initial answer collection.
+
+    ``answers_per_task`` workers are sampled (by activity) for every row and
+    each answers every cell of that row — one HIT per row, exactly the HIT
+    structure used for the paper's AMT collection.  ``noise_fraction``
+    expresses the continuous-answer noise scale as a multiple of each
+    column's ground-truth standard deviation.
+    """
+    require_positive(answers_per_task, "answers_per_task")
+    require_positive(average_difficulty, "average_difficulty")
+    if answers_per_task > len(pool):
+        raise ConfigurationError(
+            f"answers_per_task ({answers_per_task}) cannot exceed the pool size "
+            f"({len(pool)})"
+        )
+    rng = as_generator(seed)
+    row_difficulty = draw_difficulties(schema.num_rows, rng, difficulty_sigma)
+    column_difficulty = draw_difficulties(schema.num_columns, rng, difficulty_sigma)
+    # Spread the requested average difficulty over the row/column factors.
+    scale = np.sqrt(average_difficulty)
+    row_difficulty = row_difficulty * scale
+    column_difficulty = column_difficulty * scale
+
+    column_noise_scale = np.ones(schema.num_columns)
+    for j in schema.continuous_indices:
+        truths = np.array(
+            [float(ground_truth[(i, j)]) for i in range(schema.num_rows)]
+        )
+        spread = float(np.std(truths))
+        if spread <= 1e-9:
+            column = schema.columns[j]
+            spread = (column.domain[1] - column.domain[0]) / 4.0 if column.domain else 1.0
+        column_noise_scale[j] = noise_fraction * spread
+
+    oracle = AnswerOracle(
+        schema=schema,
+        ground_truth=dict(ground_truth),
+        pool=pool,
+        row_difficulty=row_difficulty,
+        column_difficulty=column_difficulty,
+        column_noise_scale=column_noise_scale,
+        epsilon=epsilon,
+        row_familiarity_sigma=row_familiarity_sigma,
+        row_confusion_probability=row_confusion_probability,
+        row_confusion_multiplier=row_confusion_multiplier,
+        row_shift_sigma=row_shift_sigma,
+        bias_fraction=bias_fraction,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+
+    answers = AnswerSet(schema)
+    worker_ids = np.array(pool.worker_ids())
+    activities = pool.activities()
+    for row in range(schema.num_rows):
+        assigned = rng.choice(
+            worker_ids, size=answers_per_task, replace=False, p=activities
+        )
+        for worker_id in assigned:
+            for col in range(schema.num_columns):
+                value = oracle.answer(str(worker_id), row, col, rng)
+                answers.add_answer(str(worker_id), row, col, value)
+
+    info = {
+        "answers_per_task": answers_per_task,
+        "average_difficulty": average_difficulty,
+        "noise_fraction": noise_fraction,
+        "row_familiarity_sigma": row_familiarity_sigma,
+    }
+    if metadata:
+        info.update(metadata)
+    return CrowdDataset(
+        name=name,
+        schema=schema,
+        ground_truth=dict(ground_truth),
+        answers=answers,
+        oracle=oracle,
+        worker_pool=pool,
+        metadata=info,
+    )
+
+
+def generate_synthetic(
+    num_rows: int = 50,
+    num_columns: int = 10,
+    categorical_ratio: float = 0.5,
+    average_difficulty: float = 1.0,
+    answers_per_task: int = 5,
+    num_workers: int = 60,
+    continuous_domain: Tuple[float, float] = (0.0, 1000.0),
+    label_count_range: Tuple[int, int] = (2, 10),
+    seed=None,
+    pool: Optional[WorkerPool] = None,
+    **build_kwargs,
+) -> CrowdDataset:
+    """Generate a synthetic dataset following Section 6.5.1.
+
+    ``categorical_ratio`` is the fraction of categorical columns (the paper's
+    ``R``); categorical label-set sizes are drawn uniformly from
+    ``label_count_range``; continuous columns span ``continuous_domain``;
+    ground truths are drawn uniformly at random from the column domain.
+    """
+    require_positive(num_rows, "num_rows")
+    require_positive(num_columns, "num_columns")
+    require_in_range(categorical_ratio, 0.0, 1.0, "categorical_ratio")
+    rng = as_generator(seed)
+
+    num_categorical = int(round(categorical_ratio * num_columns))
+    columns = []
+    for j in range(num_columns):
+        if j < num_categorical:
+            label_count = int(rng.integers(label_count_range[0], label_count_range[1] + 1))
+            labels = tuple(f"label_{j}_{z}" for z in range(label_count))
+            columns.append(Column.categorical(f"cat_{j}", labels))
+        else:
+            columns.append(Column.continuous(f"num_{j}", continuous_domain))
+    schema = TableSchema.build("entity", columns, num_rows)
+
+    ground_truth: Dict[Tuple[int, int], object] = {}
+    for i in range(num_rows):
+        for j, column in enumerate(schema.columns):
+            if column.is_categorical:
+                ground_truth[(i, j)] = column.labels[int(rng.integers(column.num_labels))]
+            else:
+                low, high = column.domain
+                ground_truth[(i, j)] = float(rng.uniform(low, high))
+
+    if pool is None:
+        pool = WorkerPool.generate(num_workers, seed=rng)
+    return build_dataset(
+        name=(
+            f"synthetic(M={num_columns}, R={categorical_ratio:.2f}, "
+            f"difficulty={average_difficulty:.2f})"
+        ),
+        schema=schema,
+        ground_truth=ground_truth,
+        pool=pool,
+        answers_per_task=answers_per_task,
+        seed=rng,
+        average_difficulty=average_difficulty,
+        metadata={"kind": "synthetic", "categorical_ratio": categorical_ratio},
+        **build_kwargs,
+    )

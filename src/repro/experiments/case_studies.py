@@ -1,0 +1,241 @@
+"""Case studies of Section 6.4: Figures 3, 4 and 6 (on Restaurant).
+
+* Figure 3 — per-worker per-attribute error heat map, showing that a worker's
+  quality is consistent across attributes of both datatypes.
+* Figure 4 — calibration of the estimated worker quality against the actual
+  quality (computed from the ground truth), with the Pearson correlation the
+  paper quotes (0.844 categorical / 0.841 continuous).
+* Figure 6 — correlation among attributes: the Aspect x Sentiment
+  correct/wrong contingency table and the conditional error distribution of
+  EndTarget given the observed StartTarget error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.correlation import AttributeCorrelationModel
+from repro.core.inference import TCrowdModel
+from repro.datasets import load_restaurant
+from repro.datasets.base import CrowdDataset
+from repro.experiments.reporting import ExperimentReport
+from repro.metrics import pearson_correlation
+
+
+def _actual_worker_errors(dataset: CrowdDataset) -> Dict[str, Dict[int, List[float]]]:
+    """Per-worker, per-column errors against the *ground truth*."""
+    errors: Dict[str, Dict[int, List[float]]] = {}
+    for answer in dataset.answers:
+        column = dataset.schema.columns[answer.col]
+        truth = dataset.truth(answer.row, answer.col)
+        if column.is_categorical:
+            error = 0.0 if answer.value == truth else 1.0
+        else:
+            error = float(answer.value) - float(truth)
+        errors.setdefault(answer.worker, {}).setdefault(answer.col, []).append(error)
+    return errors
+
+
+def run_figure3_worker_consistency(
+    seed: int = 11,
+    num_rows: Optional[int] = None,
+    top_workers: int = 25,
+) -> ExperimentReport:
+    """Reproduce Figure 3 (uniform worker quality heat map data)."""
+    kwargs = {"seed": seed}
+    if num_rows:
+        kwargs["num_rows"] = num_rows
+    dataset = load_restaurant(**kwargs)
+    errors = _actual_worker_errors(dataset)
+    # The paper plots the 25 workers with the most answers.
+    ranked = sorted(
+        errors, key=lambda worker: sum(len(v) for v in errors[worker].values()),
+        reverse=True,
+    )[:top_workers]
+
+    schema = dataset.schema
+    report = ExperimentReport(
+        experiment_id="figure3",
+        title="Uniform worker quality: per-worker per-attribute error (Restaurant)",
+        headers=["Worker"] + [column.name for column in schema.columns],
+    )
+    for worker in ranked:
+        row: List = [worker]
+        for col, column in enumerate(schema.columns):
+            values = errors[worker].get(col, [])
+            if not values:
+                row.append(None)
+            elif column.is_categorical:
+                row.append(float(np.mean(values)))            # error rate
+            else:
+                row.append(float(np.std(values)))             # error std-dev
+        report.add_row(*row)
+    report.add_note(
+        "Categorical columns show the worker's error rate, continuous columns "
+        "the standard deviation of the worker's errors; consistent colours "
+        "across a column-pair mean consistent quality."
+    )
+    # A summary statistic of consistency: correlation between the worker's
+    # mean categorical error and mean continuous |error| (z-scored per column).
+    consistency = _consistency_correlation(dataset, errors, ranked)
+    if consistency is not None:
+        report.add_note(
+            f"Correlation between per-worker categorical error rate and mean "
+            f"normalised continuous error: {consistency:.3f}"
+        )
+    return report
+
+
+def _consistency_correlation(dataset, errors, workers) -> Optional[float]:
+    schema = dataset.schema
+    if not schema.categorical_indices or not schema.continuous_indices:
+        return None
+    column_std = {
+        col: max(dataset.column_truth_std(col), 1e-9)
+        for col in schema.continuous_indices
+    }
+    cat_scores, cont_scores = [], []
+    for worker in workers:
+        cat_values = [
+            value
+            for col in schema.categorical_indices
+            for value in errors[worker].get(col, [])
+        ]
+        cont_values = [
+            abs(value) / column_std[col]
+            for col in schema.continuous_indices
+            for value in errors[worker].get(col, [])
+        ]
+        if not cat_values or not cont_values:
+            continue
+        cat_scores.append(float(np.mean(cat_values)))
+        cont_scores.append(float(np.mean(cont_values)))
+    if len(cat_scores) < 3:
+        return None
+    return pearson_correlation(cat_scores, cont_scores)
+
+
+def run_figure4_quality_calibration(
+    seed: int = 11,
+    num_rows: Optional[int] = None,
+    model_kwargs: Optional[dict] = None,
+) -> ExperimentReport:
+    """Reproduce Figure 4 (estimated vs actual worker quality calibration)."""
+    kwargs = {"seed": seed}
+    if num_rows:
+        kwargs["num_rows"] = num_rows
+    dataset = load_restaurant(**kwargs)
+    model = TCrowdModel(**(model_kwargs or {}))
+    result = model.fit(dataset.schema, dataset.answers)
+    errors = _actual_worker_errors(dataset)
+    schema = dataset.schema
+
+    cat_points, cont_points = [], []
+    for worker in result.worker_ids:
+        worker_errors = errors.get(worker, {})
+        cat_values = [
+            value
+            for col in schema.categorical_indices
+            for value in worker_errors.get(col, [])
+        ]
+        cont_values = [
+            value / max(dataset.column_truth_std(col), 1e-9)
+            for col in schema.continuous_indices
+            for value in worker_errors.get(col, [])
+        ]
+        estimated_error = 1.0 - result.worker_quality(worker)
+        estimated_std = float(np.sqrt(result.worker_variance(worker)))
+        if len(cat_values) >= 3:
+            cat_points.append((estimated_error, float(np.mean(cat_values))))
+        if len(cont_values) >= 3:
+            cont_points.append((estimated_std, float(np.std(cont_values))))
+
+    report = ExperimentReport(
+        experiment_id="figure4",
+        title="Estimated vs actual worker quality (Restaurant)",
+        headers=["Datatype", "#workers", "Pearson correlation"],
+    )
+    if len(cat_points) >= 3:
+        corr = pearson_correlation(
+            [p[0] for p in cat_points], [p[1] for p in cat_points]
+        )
+        report.add_row("categorical", len(cat_points), corr)
+        report.add_series("categorical (estimated error, actual error)", cat_points)
+    if len(cont_points) >= 3:
+        corr = pearson_correlation(
+            [p[0] for p in cont_points], [p[1] for p in cont_points]
+        )
+        report.add_row("continuous", len(cont_points), corr)
+        report.add_series("continuous (estimated std, actual std)", cont_points)
+    report.add_note(
+        "The paper reports correlations of 0.844 (categorical) and 0.841 "
+        "(continuous) between estimated and actual quality."
+    )
+    return report
+
+
+def run_figure6_attribute_correlation(
+    seed: int = 11,
+    num_rows: Optional[int] = None,
+    model_kwargs: Optional[dict] = None,
+) -> ExperimentReport:
+    """Reproduce Figure 6 (correlation among attributes on Restaurant)."""
+    kwargs = {"seed": seed}
+    if num_rows:
+        kwargs["num_rows"] = num_rows
+    dataset = load_restaurant(**kwargs)
+    model = TCrowdModel(**(model_kwargs or {}))
+    result = model.fit(dataset.schema, dataset.answers)
+    schema = dataset.schema
+    aspect = schema.column_index("aspect")
+    sentiment = schema.column_index("sentiment")
+    start = schema.column_index("start_target")
+    end = schema.column_index("end_target")
+
+    # Left panel: Aspect x Sentiment correct/wrong contingency table (against
+    # the ground truth, like the paper's table).
+    table = np.zeros((2, 2), dtype=int)
+    by_worker_row: Dict[tuple, Dict[int, bool]] = {}
+    for answer in dataset.answers:
+        if answer.col not in (aspect, sentiment):
+            continue
+        correct = answer.value == dataset.truth(answer.row, answer.col)
+        by_worker_row.setdefault((answer.worker, answer.row), {})[answer.col] = correct
+    for observations in by_worker_row.values():
+        if aspect in observations and sentiment in observations:
+            i = 0 if observations[aspect] else 1
+            j = 0 if observations[sentiment] else 1
+            table[i, j] += 1
+
+    report = ExperimentReport(
+        experiment_id="figure6",
+        title="Correlation among attributes (Restaurant)",
+        headers=["Aspect \\ Sentiment", "correct", "wrong"],
+    )
+    report.add_row("correct", int(table[0, 0]), int(table[0, 1]))
+    report.add_row("wrong", int(table[1, 0]), int(table[1, 1]))
+    if table[0].sum() and table[1].sum():
+        p_given_correct = table[0, 0] / table[0].sum()
+        p_given_wrong = table[1, 0] / table[1].sum()
+        report.add_note(
+            f"P(Sentiment correct | Aspect correct) = {p_given_correct:.2f}, "
+            f"P(Sentiment correct | Aspect wrong) = {p_given_wrong:.2f} "
+            "(paper: 0.86 vs 0.73)"
+        )
+
+    # Right panel: conditional Gaussians of the EndTarget error given the
+    # observed StartTarget error, from the fitted correlation model.
+    correlation = AttributeCorrelationModel.fit(dataset.answers, result)
+    weight = correlation.weight(end, start)
+    report.add_note(
+        f"Pearson correlation between StartTarget and EndTarget errors: {weight:.3f}"
+    )
+    for observed in (0.0, 3.0, 6.0):
+        conditional = correlation.conditional_error(end, start, observed)
+        report.add_series(
+            f"P(EndTarget error | StartTarget error = {observed:g})",
+            [(conditional.mean, conditional.variance)],
+        )
+    return report

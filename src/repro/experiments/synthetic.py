@@ -1,0 +1,155 @@
+"""Figures 7-9 — truth inference on synthetic tables with varying properties.
+
+Each harness sweeps one generator parameter (number of columns, ratio of
+categorical columns, average difficulty), regenerates the dataset ``trials``
+times per setting, and reports the average Error Rate (categorical columns,
+T-Crowd vs CRH vs GLAD) and MNAD (continuous columns, T-Crowd vs CRH vs GTM)
+— the same curves as the paper's Figures 7, 8 and 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import CRH, GLAD, GTM
+from repro.core.inference import TCrowdModel
+from repro.datasets import generate_synthetic
+from repro.experiments.reporting import ExperimentReport
+from repro.metrics import error_rate, mnad
+from repro.utils.rng import spawn_generators
+
+
+def _evaluate_setting(
+    dataset,
+    model_kwargs: Optional[dict],
+) -> Dict[str, Optional[float]]:
+    """Error Rate / MNAD of T-Crowd, CRH, GLAD and GTM on one dataset."""
+    results: Dict[str, Optional[float]] = {}
+    has_cat = bool(dataset.schema.categorical_indices)
+    has_cont = bool(dataset.schema.continuous_indices)
+    tcrowd = TCrowdModel(**(model_kwargs or {})).fit(dataset.schema, dataset.answers)
+    crh = CRH().fit(dataset.schema, dataset.answers)
+    if has_cat:
+        results["T-Crowd error"] = error_rate(tcrowd, dataset)
+        results["CRH error"] = error_rate(crh, dataset)
+        glad = GLAD().fit(dataset.schema, dataset.answers)
+        results["GLAD error"] = error_rate(glad, dataset)
+    if has_cont:
+        results["T-Crowd MNAD"] = mnad(tcrowd, dataset)
+        results["CRH MNAD"] = mnad(crh, dataset)
+        gtm = GTM().fit(dataset.schema, dataset.answers)
+        results["GTM MNAD"] = mnad(gtm, dataset)
+    return results
+
+
+def _sweep(
+    experiment_id: str,
+    title: str,
+    parameter_name: str,
+    parameter_values: Sequence,
+    dataset_factory,
+    trials: int,
+    seed: int,
+    model_kwargs: Optional[dict],
+) -> ExperimentReport:
+    metric_names = [
+        "T-Crowd error", "CRH error", "GLAD error",
+        "T-Crowd MNAD", "CRH MNAD", "GTM MNAD",
+    ]
+    report = ExperimentReport(
+        experiment_id=experiment_id,
+        title=title,
+        headers=[parameter_name] + metric_names,
+    )
+    series: Dict[str, List[tuple]] = {name: [] for name in metric_names}
+    for value in parameter_values:
+        rngs = spawn_generators(seed + hash(str(value)) % 10_000, trials)
+        accumulated: Dict[str, List[float]] = {}
+        for rng in rngs:
+            dataset = dataset_factory(value, rng)
+            for name, metric in _evaluate_setting(dataset, model_kwargs).items():
+                if metric is not None:
+                    accumulated.setdefault(name, []).append(metric)
+        row: List = [value]
+        for name in metric_names:
+            values = accumulated.get(name)
+            mean = float(np.mean(values)) if values else None
+            row.append(mean)
+            if mean is not None:
+                series[name].append((value, mean))
+        report.add_row(*row)
+    for name, points in series.items():
+        if points:
+            report.add_series(name, points)
+    report.add_note(f"trials per setting: {trials}, base seed: {seed}")
+    return report
+
+
+def run_figure7(
+    column_counts: Iterable[int] = (5, 10, 20, 30, 40, 50),
+    num_rows: int = 40,
+    trials: int = 3,
+    answers_per_task: int = 5,
+    seed: int = 23,
+    model_kwargs: Optional[dict] = None,
+) -> ExperimentReport:
+    """Figure 7: effect of the number of columns M (R=0.5, difficulty=1)."""
+    return _sweep(
+        "figure7",
+        "Effect of the number of columns",
+        "#Columns",
+        list(column_counts),
+        lambda m, rng: generate_synthetic(
+            num_rows=num_rows, num_columns=int(m), categorical_ratio=0.5,
+            average_difficulty=1.0, answers_per_task=answers_per_task, seed=rng,
+        ),
+        trials, seed, model_kwargs,
+    )
+
+
+def run_figure8(
+    ratios: Iterable[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    num_rows: int = 40,
+    num_columns: int = 10,
+    trials: int = 3,
+    answers_per_task: int = 5,
+    seed: int = 29,
+    model_kwargs: Optional[dict] = None,
+) -> ExperimentReport:
+    """Figure 8: effect of the ratio of categorical columns R (M=10)."""
+    return _sweep(
+        "figure8",
+        "Effect of the ratio of categorical columns",
+        "Ratio (#Cate Cols / #Cols)",
+        list(ratios),
+        lambda r, rng: generate_synthetic(
+            num_rows=num_rows, num_columns=num_columns, categorical_ratio=float(r),
+            average_difficulty=1.0, answers_per_task=answers_per_task, seed=rng,
+        ),
+        trials, seed, model_kwargs,
+    )
+
+
+def run_figure9(
+    difficulties: Iterable[float] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+    num_rows: int = 40,
+    num_columns: int = 10,
+    trials: int = 3,
+    answers_per_task: int = 5,
+    seed: int = 31,
+    model_kwargs: Optional[dict] = None,
+) -> ExperimentReport:
+    """Figure 9: effect of the average cell difficulty mu(alpha_i * beta_j)."""
+    return _sweep(
+        "figure9",
+        "Effect of the average difficulty",
+        "Average Difficulty",
+        list(difficulties),
+        lambda d, rng: generate_synthetic(
+            num_rows=num_rows, num_columns=num_columns, categorical_ratio=0.5,
+            average_difficulty=float(d), answers_per_task=answers_per_task, seed=rng,
+        ),
+        trials, seed, model_kwargs,
+    )

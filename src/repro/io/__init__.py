@@ -1,0 +1,48 @@
+"""Persistence: CSV and JSON import/export for schemas, answers and results.
+
+The paper's pipeline starts from answer files collected on AMT; this package
+provides the equivalent interchange formats so the library can be used with
+externally collected data:
+
+* CSV — one answer per line (``worker, row, column, value``), plus ground
+  truth and estimate exports in the same cell-per-line layout
+  (:mod:`repro.io.csv_io`).
+* JSON — schema and full-dataset documents, and a serialisable summary of an
+  inference result (:mod:`repro.io.json_io`).
+"""
+
+from repro.io.csv_io import (
+    read_answers_csv,
+    read_ground_truth_csv,
+    write_answers_csv,
+    write_estimates_csv,
+    write_ground_truth_csv,
+)
+from repro.io.json_io import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset_json,
+    load_schema_json,
+    result_to_dict,
+    save_dataset_json,
+    save_schema_json,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "load_dataset_json",
+    "load_schema_json",
+    "read_answers_csv",
+    "read_ground_truth_csv",
+    "result_to_dict",
+    "save_dataset_json",
+    "save_schema_json",
+    "schema_from_dict",
+    "schema_to_dict",
+    "write_answers_csv",
+    "write_estimates_csv",
+    "write_ground_truth_csv",
+]

@@ -1,0 +1,113 @@
+"""CSV import/export of answers, ground truth and estimates.
+
+The answer format mirrors what a requester downloads from a crowdsourcing
+platform: one row per answer with the worker id, the entity (row) index, the
+attribute (column) name and the raw value.  Columns are referenced by *name*
+so the files stay readable and robust to column reordering.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.core.answers import Answer, AnswerSet
+from repro.core.schema import TableSchema
+from repro.utils.exceptions import DataError
+
+PathLike = Union[str, Path]
+
+ANSWER_FIELDS = ("worker", "row", "column", "value")
+CELL_FIELDS = ("row", "column", "value")
+
+
+def _parse_value(schema: TableSchema, column_name: str, raw: str):
+    column = schema.column(column_name)
+    if column.is_continuous:
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise DataError(
+                f"Value {raw!r} in column {column_name!r} is not numeric"
+            ) from exc
+    return raw
+
+
+def write_answers_csv(answers: AnswerSet, path: PathLike) -> None:
+    """Write an answer set as ``worker,row,column,value`` lines."""
+    schema = answers.schema
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(ANSWER_FIELDS)
+        for answer in answers:
+            writer.writerow([
+                answer.worker,
+                answer.row,
+                schema.columns[answer.col].name,
+                answer.value,
+            ])
+
+
+def read_answers_csv(schema: TableSchema, path: PathLike) -> AnswerSet:
+    """Read an answer set written by :func:`write_answers_csv`.
+
+    Values are validated against the schema: labels must belong to the
+    column's label set and continuous values must parse as numbers.
+    """
+    answers = AnswerSet(schema)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(ANSWER_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise DataError(f"Answer CSV is missing columns: {sorted(missing)}")
+        for record in reader:
+            column_name = record["column"]
+            value = _parse_value(schema, column_name, record["value"])
+            answers.add(
+                Answer(
+                    worker=record["worker"],
+                    row=int(record["row"]),
+                    col=schema.column_index(column_name),
+                    value=value,
+                )
+            )
+    return answers
+
+
+def write_ground_truth_csv(
+    truth: Mapping[Tuple[int, int], object], schema: TableSchema, path: PathLike
+) -> None:
+    """Write a ``row,column,value`` file of ground-truth (or estimated) cells."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CELL_FIELDS)
+        for (row, col), value in sorted(truth.items()):
+            writer.writerow([row, schema.columns[col].name, value])
+
+
+def read_ground_truth_csv(
+    schema: TableSchema, path: PathLike
+) -> Dict[Tuple[int, int], object]:
+    """Read a ``row,column,value`` cell file into a ``{(row, col): value}`` map."""
+    truth: Dict[Tuple[int, int], object] = {}
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(CELL_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise DataError(f"Cell CSV is missing columns: {sorted(missing)}")
+        for record in reader:
+            column_name = record["column"]
+            col = schema.column_index(column_name)
+            row = int(record["row"])
+            schema.validate_cell(row, col)
+            value = _parse_value(schema, column_name, record["value"])
+            schema.validate_value(col, value)
+            truth[(row, col)] = value
+    return truth
+
+
+def write_estimates_csv(source, schema: TableSchema, path: PathLike) -> None:
+    """Write estimated truths (a mapping or an object with ``estimates()``)."""
+    estimates = source if isinstance(source, Mapping) else source.estimates()
+    write_ground_truth_csv(estimates, schema, path)

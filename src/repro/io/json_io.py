@@ -1,0 +1,173 @@
+"""JSON import/export of schemas, datasets and inference-result summaries.
+
+The JSON documents are self-describing (they embed the schema), so a dataset
+exported on one machine can be re-loaded and analysed on another without any
+other artefact.  Answer oracles and worker pools are *not* serialised — they
+describe the simulation, not the collected data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.answers import Answer, AnswerSet
+from repro.core.schema import AttributeType, Column, TableSchema
+from repro.datasets.base import CrowdDataset
+from repro.utils.exceptions import DataError
+
+PathLike = Union[str, Path]
+
+#: Format marker embedded in every document for forward compatibility.
+FORMAT_VERSION = 1
+
+
+# -- schema -------------------------------------------------------------------
+
+def schema_to_dict(schema: TableSchema) -> Dict:
+    """Serialise a schema to plain JSON-compatible data."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "entity_attribute": schema.entity_attribute,
+        "num_rows": schema.num_rows,
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.attribute_type.value,
+                "labels": list(column.labels),
+                "domain": list(column.domain),
+            }
+            for column in schema.columns
+        ],
+    }
+
+
+def schema_from_dict(data: Dict) -> TableSchema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    try:
+        columns = []
+        for entry in data["columns"]:
+            attribute_type = AttributeType(entry["type"])
+            if attribute_type is AttributeType.CATEGORICAL:
+                columns.append(Column.categorical(entry["name"], entry["labels"]))
+            else:
+                columns.append(Column.continuous(entry["name"], tuple(entry["domain"])))
+        return TableSchema.build(
+            data["entity_attribute"], columns, int(data["num_rows"])
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise DataError(f"Malformed schema document: {exc}") from exc
+
+
+def save_schema_json(schema: TableSchema, path: PathLike) -> None:
+    """Write a schema to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(schema_to_dict(schema), handle, indent=2)
+
+
+def load_schema_json(path: PathLike) -> TableSchema:
+    """Read a schema from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return schema_from_dict(json.load(handle))
+
+
+# -- datasets -----------------------------------------------------------------
+
+def dataset_to_dict(dataset: CrowdDataset) -> Dict:
+    """Serialise a dataset (schema, ground truth, answers, metadata)."""
+    schema = dataset.schema
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "schema": schema_to_dict(schema),
+        "ground_truth": [
+            {"row": row, "column": schema.columns[col].name, "value": value}
+            for (row, col), value in sorted(dataset.ground_truth.items())
+        ],
+        "answers": [
+            {
+                "worker": answer.worker,
+                "row": answer.row,
+                "column": schema.columns[answer.col].name,
+                "value": answer.value,
+            }
+            for answer in dataset.answers
+        ],
+        "metadata": dict(dataset.metadata),
+    }
+
+
+def dataset_from_dict(data: Dict) -> CrowdDataset:
+    """Rebuild a dataset from :func:`dataset_to_dict` output.
+
+    The answer oracle and worker pool are not part of the document, so the
+    returned dataset supports truth inference and metric evaluation but not
+    live assignment simulation.
+    """
+    try:
+        schema = schema_from_dict(data["schema"])
+        ground_truth = {
+            (int(entry["row"]), schema.column_index(entry["column"])): entry["value"]
+            for entry in data["ground_truth"]
+        }
+        answers = AnswerSet(schema)
+        for entry in data["answers"]:
+            answers.add(
+                Answer(
+                    worker=entry["worker"],
+                    row=int(entry["row"]),
+                    col=schema.column_index(entry["column"]),
+                    value=entry["value"],
+                )
+            )
+        return CrowdDataset(
+            name=data.get("name", "imported"),
+            schema=schema,
+            ground_truth=ground_truth,
+            answers=answers,
+            metadata=dict(data.get("metadata", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"Malformed dataset document: {exc}") from exc
+
+
+def save_dataset_json(dataset: CrowdDataset, path: PathLike) -> None:
+    """Write a dataset to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dataset_to_dict(dataset), handle, indent=2)
+
+
+def load_dataset_json(path: PathLike) -> CrowdDataset:
+    """Read a dataset from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return dataset_from_dict(json.load(handle))
+
+
+# -- inference results ----------------------------------------------------------
+
+def result_to_dict(result) -> Dict:
+    """Serialisable summary of an inference result.
+
+    Works for :class:`~repro.core.inference.InferenceResult` and for the
+    baseline results (anything exposing ``estimates()``); T-Crowd results
+    additionally carry worker qualities and row/column difficulties.
+    """
+    schema = result.schema
+    document: Dict = {
+        "format_version": FORMAT_VERSION,
+        "estimates": [
+            {"row": row, "column": schema.columns[col].name, "value": value}
+            for (row, col), value in sorted(result.estimates().items())
+        ],
+    }
+    if hasattr(result, "worker_qualities"):
+        document["worker_qualities"] = result.worker_qualities()
+        document["row_difficulty"] = [float(x) for x in result.alpha]
+        document["column_difficulty"] = {
+            schema.columns[j].name: float(result.beta[j])
+            for j in range(schema.num_columns)
+        }
+        document["iterations"] = result.n_iterations
+        document["converged"] = result.converged
+    return document

@@ -1,0 +1,17 @@
+"""Effectiveness metrics used throughout the evaluation (Section 6.2)."""
+
+from repro.metrics.effectiveness import (
+    as_estimates,
+    column_rmse,
+    error_rate,
+    mnad,
+    pearson_correlation,
+)
+
+__all__ = [
+    "as_estimates",
+    "column_rmse",
+    "error_rate",
+    "mnad",
+    "pearson_correlation",
+]

@@ -1,0 +1,123 @@
+"""Error Rate and MNAD (Section 6.2) plus supporting measures.
+
+* **Error Rate** — fraction of categorical cells whose estimated truth does
+  not match the ground truth.
+* **MNAD** (Mean Normalized Absolute Distance) — per continuous column, the
+  RMSE between estimated and true values normalised by the column's standard
+  deviation, averaged over the continuous columns.  Following the paper's
+  Section 6.5.2 discussion the default normaliser is the standard deviation
+  of the collected *answers* in the column; ``normalize_by="truth"`` switches
+  to the ground-truth standard deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import CrowdDataset
+from repro.utils.exceptions import DataError
+
+
+def as_estimates(source, dataset: CrowdDataset) -> Dict[Tuple[int, int], object]:
+    """Normalise an estimate source into a ``{(row, col): value}`` mapping.
+
+    ``source`` may already be such a mapping, or any object exposing an
+    ``estimates()`` method (e.g. :class:`~repro.core.inference.InferenceResult`
+    or a baseline result).
+    """
+    if isinstance(source, Mapping):
+        return dict(source)
+    if hasattr(source, "estimates"):
+        return dict(source.estimates())
+    raise DataError(
+        f"Cannot interpret {type(source).__name__} as truth estimates"
+    )
+
+
+def error_rate(
+    source,
+    dataset: CrowdDataset,
+    columns: Optional[Iterable[int]] = None,
+) -> float:
+    """Error rate over the categorical cells of ``dataset``.
+
+    ``columns`` restricts the computation to a subset of categorical columns;
+    cells missing from the estimates count as errors (a method that does not
+    answer a task cannot be credited for it).
+    """
+    estimates = as_estimates(source, dataset)
+    selected = set(columns) if columns is not None else set(dataset.schema.categorical_indices)
+    selected &= set(dataset.schema.categorical_indices)
+    cells = [(i, j) for (i, j) in dataset.schema.cells() if j in selected]
+    if not cells:
+        raise DataError("The dataset has no categorical cells to score")
+    wrong = 0
+    for cell in cells:
+        estimate = estimates.get(cell)
+        if estimate is None or estimate != dataset.ground_truth[cell]:
+            wrong += 1
+    return wrong / len(cells)
+
+
+def column_rmse(source, dataset: CrowdDataset, col: int) -> float:
+    """RMSE of the estimates of one continuous column against the ground truth."""
+    column = dataset.schema.columns[col]
+    if not column.is_continuous:
+        raise DataError(f"Column {column.name!r} is not continuous")
+    estimates = as_estimates(source, dataset)
+    errors = []
+    for i in range(dataset.schema.num_rows):
+        estimate = estimates.get((i, col))
+        truth = float(dataset.ground_truth[(i, col)])
+        if estimate is None:
+            # Penalise missing estimates by the column's full spread.
+            errors.append(dataset.column_truth_std(col) * 2.0)
+        else:
+            errors.append(float(estimate) - truth)
+    return float(np.sqrt(np.mean(np.square(errors))))
+
+
+def _column_answer_std(dataset: CrowdDataset, col: int) -> float:
+    values = np.array(
+        [float(a.value) for a in dataset.answers.answers_in_column(col)], dtype=float
+    )
+    if len(values) < 2:
+        return max(dataset.column_truth_std(col), 1e-9)
+    return max(float(np.std(values)), 1e-9)
+
+
+def mnad(
+    source,
+    dataset: CrowdDataset,
+    columns: Optional[Iterable[int]] = None,
+    normalize_by: str = "answers",
+) -> float:
+    """Mean Normalized Absolute Distance over the continuous columns."""
+    if normalize_by not in ("answers", "truth"):
+        raise DataError(f"normalize_by must be 'answers' or 'truth', got {normalize_by!r}")
+    selected = set(columns) if columns is not None else set(dataset.schema.continuous_indices)
+    selected &= set(dataset.schema.continuous_indices)
+    if not selected:
+        raise DataError("The dataset has no continuous cells to score")
+    normalized = []
+    for col in sorted(selected):
+        rmse = column_rmse(source, dataset, col)
+        if normalize_by == "answers":
+            denominator = _column_answer_std(dataset, col)
+        else:
+            denominator = max(dataset.column_truth_std(col), 1e-9)
+        normalized.append(rmse / denominator)
+    return float(np.mean(normalized))
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson correlation coefficient (used by the calibration case study)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise DataError("pearson_correlation needs two equally sized vectors (>= 2)")
+    if float(np.std(x)) < 1e-12 or float(np.std(y)) < 1e-12:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,22 @@
+"""AMT-like crowdsourcing platform simulator.
+
+The end-to-end experiments of Sections 6.3-6.4 run each assignment policy
+against a live crowd; this package provides the simulated equivalent: a
+worker-arrival process over the dataset's worker pool, a budget in answers,
+and a session loop that alternates assignment, answer collection (through
+the dataset's :class:`~repro.datasets.workers.AnswerOracle`) and periodic
+evaluation of the policy's own truth-inference method against the ground
+truth.
+"""
+
+from repro.platform.arrival import WorkerArrivalProcess
+from repro.platform.budget import Budget
+from repro.platform.session import CrowdsourcingSession, SessionRecord, SessionTrace
+
+__all__ = [
+    "Budget",
+    "CrowdsourcingSession",
+    "SessionRecord",
+    "SessionTrace",
+    "WorkerArrivalProcess",
+]

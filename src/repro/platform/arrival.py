@@ -1,0 +1,52 @@
+"""Worker arrival process.
+
+On AMT, workers arrive in sessions: a worker picks up a HIT, usually
+completes a few more, and leaves.  :class:`WorkerArrivalProcess` reproduces
+this: workers are drawn from the pool proportionally to their activity, and
+each arrival stays for a geometric number of consecutive HITs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.datasets.workers import WorkerPool
+from repro.utils.rng import as_generator
+from repro.utils.validation import require_in_range
+
+
+class WorkerArrivalProcess:
+    """Generates the sequence of workers requesting HITs."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        seed=None,
+        session_continue_probability: float = 0.7,
+    ) -> None:
+        require_in_range(
+            session_continue_probability, 0.0, 0.999, "session_continue_probability"
+        )
+        self.pool = pool
+        self.session_continue_probability = float(session_continue_probability)
+        self._rng = as_generator(seed)
+        self._current: Optional[str] = None
+
+    def next_worker(self) -> str:
+        """Return the worker who requests the next HIT."""
+        if (
+            self._current is not None
+            and self._rng.random() < self.session_continue_probability
+        ):
+            return self._current
+        worker_ids = self.pool.worker_ids()
+        index = self._rng.choice(len(worker_ids), p=self.pool.activities())
+        self._current = worker_ids[int(index)]
+        return self._current
+
+    def stream(self, count: int) -> Iterator[str]:
+        """Yield the next ``count`` arriving workers."""
+        for _ in range(count):
+            yield self.next_worker()

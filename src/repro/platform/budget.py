@@ -1,0 +1,58 @@
+"""Budget accounting for a crowdsourcing session.
+
+The paper expresses budgets as the average number of answers per task (each
+answer costs the same); :class:`Budget` tracks answers spent against a total
+and can convert to/from answers-per-task for a given schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schema import TableSchema
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class Budget:
+    """A budget expressed in total answers (one answer = one unit of cost)."""
+
+    total_answers: int
+    cost_per_answer: float = 0.05
+    spent_answers: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        require_positive(self.total_answers, "total_answers")
+
+    @classmethod
+    def from_answers_per_task(
+        cls, schema: TableSchema, answers_per_task: float, cost_per_answer: float = 0.05
+    ) -> "Budget":
+        """Budget that allows ``answers_per_task`` answers per cell on average."""
+        total = int(round(answers_per_task * schema.num_cells))
+        return cls(total_answers=total, cost_per_answer=cost_per_answer)
+
+    @property
+    def remaining_answers(self) -> int:
+        """Answers that can still be purchased."""
+        return max(self.total_answers - self.spent_answers, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the whole budget has been spent."""
+        return self.spent_answers >= self.total_answers
+
+    @property
+    def spent_money(self) -> float:
+        """Money spent so far (cost per answer times answers)."""
+        return self.spent_answers * self.cost_per_answer
+
+    def charge(self, answers: int = 1) -> None:
+        """Record the purchase of ``answers`` answers."""
+        if answers < 0:
+            raise ValueError(f"answers must be non-negative, got {answers}")
+        self.spent_answers += answers
+
+    def answers_per_task(self, schema: TableSchema) -> float:
+        """Average answers per cell purchased so far."""
+        return self.spent_answers / schema.num_cells

@@ -1,0 +1,226 @@
+"""End-to-end crowdsourcing session (the simulated Section 6.3 protocol).
+
+A :class:`CrowdsourcingSession` wires together a dataset (with its answer
+oracle), an assignment policy, a truth-inference method used for evaluation,
+a budget and a worker arrival process, and produces a :class:`SessionTrace`
+of effectiveness-versus-budget records — the series plotted in Figures 2
+and 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.answers import AnswerSet
+from repro.core.assignment import AssignmentPolicy
+from repro.datasets.base import CrowdDataset
+from repro.metrics import error_rate, mnad
+from repro.platform.arrival import WorkerArrivalProcess
+from repro.platform.budget import Budget
+from repro.utils.exceptions import AssignmentError, ConfigurationError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """Snapshot of effectiveness after a given amount of budget was spent."""
+
+    answers_collected: int
+    answers_per_task: float
+    error_rate: Optional[float]
+    mnad: Optional[float]
+    spent_money: float
+
+
+@dataclass
+class SessionTrace:
+    """Sequence of :class:`SessionRecord` produced by one session run."""
+
+    policy_name: str
+    inference_name: str
+    dataset_name: str
+    records: List[SessionRecord] = field(default_factory=list)
+
+    def series(self, metric: str) -> List[tuple]:
+        """Return ``(answers_per_task, value)`` pairs for ``metric``."""
+        return [
+            (record.answers_per_task, getattr(record, metric))
+            for record in self.records
+            if getattr(record, metric) is not None
+        ]
+
+    @property
+    def final(self) -> SessionRecord:
+        """The last recorded snapshot."""
+        if not self.records:
+            raise ConfigurationError("The session produced no records")
+        return self.records[-1]
+
+    def answers_to_reach(self, metric: str, target: float) -> Optional[float]:
+        """Smallest answers-per-task at which ``metric`` dropped to ``target``.
+
+        Returns ``None`` if the target was never reached — the convergence
+        statistic the paper quotes ("converges ... before the average number
+        of answers per task is 3").
+        """
+        for record in self.records:
+            value = getattr(record, metric)
+            if value is not None and value <= target:
+                return record.answers_per_task
+        return None
+
+
+class CrowdsourcingSession:
+    """Simulate an end-to-end crowdsourcing run of one assignment policy.
+
+    Parameters
+    ----------
+    dataset:
+        A simulated dataset carrying an :class:`AnswerOracle` and a worker
+        pool (all loaders in :mod:`repro.datasets` provide both).
+    policy:
+        The assignment policy under test.
+    inference:
+        Object with ``fit(schema, answers)`` used to evaluate effectiveness
+        at the checkpoints (each system is evaluated with its own inference,
+        as in the paper).
+    target_answers_per_task:
+        Total budget expressed in answers per cell.
+    initial_answers_per_task:
+        Answers per cell collected before the policy starts (Algorithm 2
+        line 1 initialises every task with several answers).
+    batch_size:
+        Number of tasks per HIT; defaults to the number of columns (the
+        paper's AMT setting).
+    eval_every_answers_per_task:
+        Evaluation checkpoint spacing on the answers-per-task axis.
+    """
+
+    def __init__(
+        self,
+        dataset: CrowdDataset,
+        policy: AssignmentPolicy,
+        inference,
+        target_answers_per_task: float = 5.0,
+        initial_answers_per_task: int = 1,
+        batch_size: Optional[int] = None,
+        eval_every_answers_per_task: float = 0.5,
+        seed=None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        if dataset.oracle is None or dataset.worker_pool is None:
+            raise ConfigurationError(
+                "The dataset must carry an AnswerOracle and a WorkerPool to "
+                "simulate a live session"
+            )
+        if target_answers_per_task <= initial_answers_per_task:
+            raise ConfigurationError(
+                "target_answers_per_task must exceed initial_answers_per_task"
+            )
+        self.dataset = dataset
+        self.policy = policy
+        self.inference = inference
+        self.target_answers_per_task = float(target_answers_per_task)
+        self.initial_answers_per_task = int(initial_answers_per_task)
+        self.batch_size = batch_size or dataset.schema.num_columns
+        self.eval_every = float(eval_every_answers_per_task)
+        self.max_steps = max_steps
+        self._rng = as_generator(seed)
+        self.arrival = WorkerArrivalProcess(
+            dataset.worker_pool, seed=self._rng.integers(0, 2**31 - 1)
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _seed_answers(self) -> AnswerSet:
+        """Collect the initial answers (Algorithm 2, line 1): one HIT per row."""
+        schema = self.dataset.schema
+        answers = AnswerSet(schema)
+        pool = self.dataset.worker_pool
+        worker_ids = pool.worker_ids()
+        activities = pool.activities()
+        for row in range(schema.num_rows):
+            chosen = self._rng.choice(
+                len(worker_ids),
+                size=self.initial_answers_per_task,
+                replace=False,
+                p=activities,
+            )
+            for index in chosen:
+                worker = worker_ids[int(index)]
+                for col in range(schema.num_columns):
+                    value = self.dataset.oracle.answer(worker, row, col, self._rng)
+                    answers.add_answer(worker, row, col, value)
+        return answers
+
+    def _evaluate(self, answers: AnswerSet, budget: Budget, trace: SessionTrace) -> None:
+        schema = self.dataset.schema
+        result = self.inference.fit(schema, answers)
+        err = (
+            error_rate(result, self.dataset)
+            if schema.categorical_indices
+            else None
+        )
+        distance = (
+            mnad(result, self.dataset) if schema.continuous_indices else None
+        )
+        trace.records.append(
+            SessionRecord(
+                answers_collected=len(answers),
+                answers_per_task=answers.mean_answers_per_cell(),
+                error_rate=err,
+                mnad=distance,
+                spent_money=budget.spent_money,
+            )
+        )
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self) -> SessionTrace:
+        """Run the session until the budget is exhausted; return the trace."""
+        schema = self.dataset.schema
+        answers = self._seed_answers()
+        extra_answers = int(
+            round(
+                (self.target_answers_per_task - self.initial_answers_per_task)
+                * schema.num_cells
+            )
+        )
+        budget = Budget(total_answers=max(extra_answers, 1))
+        trace = SessionTrace(
+            policy_name=self.policy.name,
+            inference_name=getattr(self.inference, "name", type(self.inference).__name__),
+            dataset_name=self.dataset.name,
+        )
+        self._evaluate(answers, budget, trace)
+        next_checkpoint = answers.mean_answers_per_cell() + self.eval_every
+
+        steps = 0
+        consecutive_failures = 0
+        failure_limit = 10 * len(self.dataset.worker_pool)
+        while not budget.exhausted:
+            if self.max_steps is not None and steps >= self.max_steps:
+                break
+            steps += 1
+            worker = self.arrival.next_worker()
+            batch = min(self.batch_size, budget.remaining_answers)
+            try:
+                assignment = self.policy.select(worker, answers, k=batch)
+            except AssignmentError:
+                # This worker has no candidate cells left; try another one,
+                # but give up if no worker can be assigned anything anymore.
+                consecutive_failures += 1
+                if consecutive_failures >= failure_limit:
+                    break
+                continue
+            consecutive_failures = 0
+            for row, col in assignment.cells:
+                value = self.dataset.oracle.answer(worker, row, col, self._rng)
+                answers.add_answer(worker, row, col, value)
+            budget.charge(len(assignment.cells))
+            self.policy.observe(answers)
+            if answers.mean_answers_per_cell() >= next_checkpoint or budget.exhausted:
+                self._evaluate(answers, budget, trace)
+                next_checkpoint += self.eval_every
+        return trace

@@ -1,0 +1,42 @@
+"""Shared utilities: RNG handling, numerics, validation and exceptions."""
+
+from repro.utils.exceptions import (
+    ConfigurationError,
+    DataError,
+    InferenceError,
+    ReproError,
+)
+from repro.utils.numerics import (
+    log_erf,
+    logsumexp,
+    normalize_log_probs,
+    safe_erf,
+    safe_log,
+    safe_var,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "DataError",
+    "InferenceError",
+    "ReproError",
+    "as_generator",
+    "log_erf",
+    "logsumexp",
+    "normalize_log_probs",
+    "require",
+    "require_in_range",
+    "require_positive",
+    "require_probability",
+    "safe_erf",
+    "safe_log",
+    "safe_var",
+    "spawn_generators",
+]

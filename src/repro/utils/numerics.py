@@ -1,0 +1,67 @@
+"""Numerically careful primitives used throughout inference.
+
+The EM algorithm of Section 4 multiplies many small probabilities (per-cell
+posteriors over labels) and evaluates ``erf`` deep in its tails, so all the
+probability arithmetic in the library goes through the log-space helpers in
+this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+#: Smallest probability we allow before taking a logarithm.
+_EPS = 1e-12
+
+#: erf values are clipped into (ERF_FLOOR, 1 - ERF_FLOOR) so that both
+#: ``log(q)`` and ``log(1 - q)`` stay finite.
+_ERF_FLOOR = 1e-10
+
+
+def safe_log(x):
+    """Return ``log(max(x, eps))`` elementwise, avoiding ``-inf``."""
+    return np.log(np.maximum(x, _EPS))
+
+
+def safe_erf(x):
+    """Return ``erf(x)`` clipped away from exactly 0 and 1.
+
+    Worker qualities in the paper are ``erf(eps / sqrt(2 * variance))``; for a
+    spammer the variance can be huge and for an expert tiny, driving the erf
+    to 0 or 1 and its log-likelihood to ``-inf``.  Clipping keeps gradients
+    finite without visibly changing the optimum.
+    """
+    return np.clip(special.erf(x), _ERF_FLOOR, 1.0 - _ERF_FLOOR)
+
+
+def log_erf(x):
+    """Return ``log(erf(x))`` with clipping (see :func:`safe_erf`)."""
+    return np.log(safe_erf(x))
+
+
+def logsumexp(log_values, axis=None):
+    """Stable log-sum-exp reduction (thin wrapper over scipy)."""
+    return special.logsumexp(log_values, axis=axis)
+
+
+def normalize_log_probs(log_values, axis=-1):
+    """Exponentiate and normalise log-probabilities along ``axis``."""
+    log_values = np.asarray(log_values, dtype=float)
+    shifted = log_values - np.max(log_values, axis=axis, keepdims=True)
+    probs = np.exp(shifted)
+    total = np.sum(probs, axis=axis, keepdims=True)
+    return probs / np.maximum(total, _EPS)
+
+
+def safe_var(values, floor: float = 1e-6) -> float:
+    """Population variance of ``values`` floored away from zero.
+
+    Several estimators (GTM, CRH weights, the correlation models of Section
+    5.2) divide by empirical variances that can collapse to zero when a
+    column received identical answers; the floor keeps them well defined.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return floor
+    return float(max(np.var(values), floor))

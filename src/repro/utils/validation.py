@@ -1,0 +1,31 @@
+"""Small argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from repro.utils.exceptions import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value, name: str) -> None:
+    """Require ``value`` to be strictly positive."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def require_probability(value, name: str) -> None:
+    """Require ``value`` to lie in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def require_in_range(value, low, high, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )

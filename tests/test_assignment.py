@@ -1,0 +1,115 @@
+"""Tests for online task assignment (repro.core.assignment)."""
+
+import pytest
+
+from repro.core.assignment import BatchAssignment, TCrowdAssigner
+from repro.core.inference import TCrowdModel
+from repro.utils.exceptions import AssignmentError
+
+
+@pytest.fixture()
+def fast_model():
+    return TCrowdModel(max_iterations=6, m_step_iterations=10)
+
+
+class TestBatchAssignment:
+    def test_len_and_total_gain(self):
+        batch = BatchAssignment("w", ((0, 0), (1, 1)), (0.5, 0.25))
+        assert len(batch) == 2
+        assert batch.total_gain == pytest.approx(0.75)
+
+
+class TestCandidateFiltering:
+    def test_excludes_cells_answered_by_worker(self, mixed_schema, mixed_answers, fast_model):
+        assigner = TCrowdAssigner(mixed_schema, model=fast_model)
+        worker = mixed_answers.workers[0]
+        candidates = assigner.candidate_cells(worker, mixed_answers)
+        answered = {
+            (a.row, a.col) for a in mixed_answers.answers_by_worker(worker)
+        }
+        assert not (set(candidates) & answered)
+
+    def test_max_answers_per_cell_cap(self, mixed_schema, mixed_answers, fast_model):
+        counts = mixed_answers.answer_counts()
+        cap = int(counts.max())
+        assigner = TCrowdAssigner(
+            mixed_schema, model=fast_model, max_answers_per_cell=cap
+        )
+        candidates = assigner.candidate_cells("brand-new-worker", mixed_answers)
+        saturated = {(i, j) for (i, j) in mixed_schema.cells() if counts[i, j] >= cap}
+        assert not (set(candidates) & saturated)
+
+
+class TestTCrowdAssigner:
+    def test_select_returns_requested_batch(self, mixed_schema, mixed_answers, fast_model):
+        assigner = TCrowdAssigner(mixed_schema, model=fast_model, use_structure=False)
+        batch = assigner.select("expert", mixed_answers, k=3)
+        assert len(batch) == 3
+        assert len(set(batch.cells)) == 3
+        assert all(0 <= row < mixed_schema.num_rows for row, _col in batch.cells)
+
+    def test_selected_cells_have_top_gains(self, mixed_schema, mixed_answers, fast_model):
+        assigner = TCrowdAssigner(mixed_schema, model=fast_model, use_structure=False)
+        batch = assigner.select("expert", mixed_answers, k=2)
+        assert batch.gains[0] >= batch.gains[1]
+
+    def test_structure_aware_selection_runs(self, mixed_schema, mixed_answers, fast_model):
+        assigner = TCrowdAssigner(mixed_schema, model=fast_model, use_structure=True)
+        batch = assigner.select("good", mixed_answers, k=2)
+        assert len(batch) == 2
+
+    def test_names_distinguish_modes(self, mixed_schema, fast_model):
+        structured = TCrowdAssigner(mixed_schema, model=fast_model, use_structure=True)
+        inherent = TCrowdAssigner(mixed_schema, model=fast_model, use_structure=False)
+        assert "structure" in structured.name.lower()
+        assert "inherent" in inherent.name.lower()
+
+    def test_requires_positive_k(self, mixed_schema, mixed_answers, fast_model):
+        assigner = TCrowdAssigner(mixed_schema, model=fast_model)
+        with pytest.raises(AssignmentError):
+            assigner.select("expert", mixed_answers, k=0)
+
+    def test_requires_seeded_answers(self, mixed_schema, fast_model):
+        from repro.core.answers import AnswerSet
+
+        assigner = TCrowdAssigner(mixed_schema, model=fast_model)
+        with pytest.raises(AssignmentError):
+            assigner.select("expert", AnswerSet(mixed_schema), k=1)
+
+    def test_invalid_refit_every(self, mixed_schema, fast_model):
+        with pytest.raises(AssignmentError):
+            TCrowdAssigner(mixed_schema, model=fast_model, refit_every=0)
+
+    def test_refit_every_caches_inference(self, mixed_schema, mixed_answers, fast_model):
+        assigner = TCrowdAssigner(
+            mixed_schema, model=fast_model, refit_every=1000, use_structure=False
+        )
+        assigner.select("expert", mixed_answers, k=1)
+        first = assigner.last_result
+        # A second select with unchanged answers must not refit.
+        assigner.select("good", mixed_answers, k=1)
+        assert assigner.last_result is first
+
+    def test_observe_refreshes_when_stale(self, mixed_schema, mixed_answers, fast_model):
+        assigner = TCrowdAssigner(
+            mixed_schema, model=fast_model, refit_every=1, use_structure=False
+        )
+        assigner.select("expert", mixed_answers, k=1)
+        first = assigner.last_result
+        grown = mixed_answers.copy()
+        grown.add_answer("expert", 0, 0, mixed_schema.columns[0].labels[0])
+        assigner.observe(grown)
+        assert assigner.last_result is not first
+
+    def test_no_candidates_raises(self, mixed_schema, fast_model):
+        from repro.core.answers import AnswerSet
+
+        answers = AnswerSet(mixed_schema)
+        # The worker answers every cell, so nothing is left to assign to them.
+        for i in range(mixed_schema.num_rows):
+            for j, column in enumerate(mixed_schema.columns):
+                value = column.labels[0] if column.is_categorical else 1.0
+                answers.add_answer("busy", i, j, value)
+        assigner = TCrowdAssigner(mixed_schema, model=fast_model)
+        with pytest.raises(AssignmentError):
+            assigner.select("busy", answers, k=1)

@@ -1,0 +1,169 @@
+"""Tests for the baseline truth-inference methods (repro.baselines.*)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CATD,
+    CRH,
+    DawidSkene,
+    GLAD,
+    GTM,
+    MajorityVoting,
+    MedianAggregator,
+    ZenCrowd,
+)
+from repro.baselines.base import BaselineResult
+from repro.baselines.combined import CombinedInference
+from repro.core.answers import AnswerSet
+from repro.core.schema import Column, TableSchema
+
+ALL_METHODS = [
+    MajorityVoting, MedianAggregator, DawidSkene, ZenCrowd, GLAD, GTM, CRH, CATD,
+]
+
+
+class TestInterfaces:
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_fit_returns_baseline_result(self, factory, mixed_schema, mixed_answers):
+        result = factory().fit(mixed_schema, mixed_answers)
+        assert isinstance(result, BaselineResult)
+        assert isinstance(result.estimates(), dict)
+
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_empty_answers_handled(self, factory, mixed_schema):
+        result = factory().fit(mixed_schema, AnswerSet(mixed_schema))
+        assert result.estimates() == {}
+
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_estimates_restricted_to_supported_columns(self, factory, mixed_schema, mixed_answers):
+        method = factory()
+        result = method.fit(mixed_schema, mixed_answers)
+        cat_cols = set(mixed_schema.categorical_indices)
+        cont_cols = set(mixed_schema.continuous_indices)
+        for (_row, col) in result.estimates():
+            if col in cat_cols:
+                assert method.supports_categorical()
+            if col in cont_cols:
+                assert method.supports_continuous()
+
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_estimate_values_are_valid(self, factory, mixed_schema, mixed_answers):
+        result = factory().fit(mixed_schema, mixed_answers)
+        for (row, col), value in result.estimates().items():
+            column = mixed_schema.columns[col]
+            if column.is_categorical:
+                assert column.contains_label(value)
+            else:
+                assert np.isfinite(float(value))
+
+    def test_worker_weight_default(self, mixed_schema, mixed_answers):
+        result = MajorityVoting().fit(mixed_schema, mixed_answers)
+        assert result.worker_weight("anyone") == 1.0
+
+    def test_baseline_result_single_estimate_accessor(self, mixed_schema, mixed_answers):
+        result = MajorityVoting().fit(mixed_schema, mixed_answers)
+        cell = next(iter(result.estimates()))
+        assert result.estimate(*cell) is not None
+        assert result.estimate(10**6, 0) is None
+
+
+class TestMajorityVotingAndMedian:
+    def test_majority_voting_picks_mode(self):
+        schema = TableSchema.build("e", [Column.categorical("c", ["a", "b"])], 1)
+        answers = AnswerSet(schema)
+        answers.add_answer("w1", 0, 0, "a")
+        answers.add_answer("w2", 0, 0, "a")
+        answers.add_answer("w3", 0, 0, "b")
+        result = MajorityVoting().fit(schema, answers)
+        assert result.estimate(0, 0) == "a"
+
+    def test_majority_voting_tie_break_deterministic(self):
+        schema = TableSchema.build("e", [Column.categorical("c", ["a", "b"])], 1)
+        answers = AnswerSet(schema)
+        answers.add_answer("w1", 0, 0, "b")
+        answers.add_answer("w2", 0, 0, "a")
+        result = MajorityVoting().fit(schema, answers)
+        assert result.estimate(0, 0) == "a"  # first label in the column order
+
+    def test_median_is_robust_to_one_outlier(self):
+        schema = TableSchema.build("e", [Column.continuous("x", (0, 1000))], 1)
+        answers = AnswerSet(schema)
+        for worker, value in (("w1", 10.0), ("w2", 11.0), ("w3", 900.0)):
+            answers.add_answer(worker, 0, 0, value)
+        result = MedianAggregator().fit(schema, answers)
+        assert result.estimate(0, 0) == pytest.approx(11.0)
+
+
+class TestWorkerWeighting:
+    def test_zencrowd_ranks_workers_by_reliability(self, mixed_schema, mixed_answers, worker_variances):
+        result = ZenCrowd().fit(mixed_schema, mixed_answers)
+        assert result.worker_weight("expert") > result.worker_weight("spammer")
+
+    def test_dawid_skene_ranks_workers(self, mixed_schema, mixed_answers):
+        result = DawidSkene().fit(mixed_schema, mixed_answers)
+        assert result.worker_weight("expert") > result.worker_weight("spammer")
+
+    def test_glad_ranks_workers(self, mixed_schema, mixed_answers):
+        result = GLAD().fit(mixed_schema, mixed_answers)
+        assert result.worker_weight("expert") >= result.worker_weight("spammer")
+
+    def test_gtm_ranks_workers(self, mixed_schema, mixed_answers):
+        result = GTM().fit(mixed_schema, mixed_answers)
+        assert result.worker_weight("expert") > result.worker_weight("spammer")
+
+    def test_crh_ranks_workers(self, mixed_schema, mixed_answers):
+        result = CRH().fit(mixed_schema, mixed_answers)
+        assert result.worker_weight("expert") > result.worker_weight("spammer")
+
+    def test_catd_ranks_workers(self, mixed_schema, mixed_answers):
+        result = CATD().fit(mixed_schema, mixed_answers)
+        assert result.worker_weight("expert") > result.worker_weight("spammer")
+
+
+class TestAccuracyAgainstTruth:
+    def _categorical_errors(self, result, truth, schema):
+        cells = [c for c in truth if schema.columns[c[1]].is_categorical]
+        return sum(result.estimate(*c) != truth[c] for c in cells), len(cells)
+
+    def test_weighted_methods_not_worse_than_chance(self, mixed_schema, mixed_answers, mixed_truth):
+        for factory in (DawidSkene, ZenCrowd, GLAD, CRH, CATD):
+            result = factory().fit(mixed_schema, mixed_answers)
+            errors, total = self._categorical_errors(result, mixed_truth, mixed_schema)
+            assert errors / total < 0.5
+
+    def test_gtm_beats_plain_mean_with_spammer(self):
+        rng = np.random.default_rng(3)
+        schema = TableSchema.build("e", [Column.continuous("x", (0, 100))], 30)
+        answers = AnswerSet(schema)
+        truth = {}
+        for i in range(30):
+            truth[(i, 0)] = float(rng.uniform(0, 100))
+            answers.add_answer("good1", i, 0, truth[(i, 0)] + rng.normal(0, 1))
+            answers.add_answer("good2", i, 0, truth[(i, 0)] + rng.normal(0, 1))
+            answers.add_answer("bad", i, 0, float(rng.uniform(0, 100)))
+        gtm = GTM().fit(schema, answers)
+        gtm_rmse = np.sqrt(np.mean([
+            (gtm.estimate(i, 0) - truth[(i, 0)]) ** 2 for i in range(30)
+        ]))
+        mean_rmse = np.sqrt(np.mean([
+            (np.mean([a.value for a in answers.answers_for_cell(i, 0)]) - truth[(i, 0)]) ** 2
+            for i in range(30)
+        ]))
+        assert gtm_rmse < mean_rmse
+
+
+class TestCombinedInference:
+    def test_combines_both_datatypes(self, mixed_schema, mixed_answers):
+        combined = CombinedInference()
+        result = combined.fit(mixed_schema, mixed_answers)
+        answered_cols = {col for (_row, col) in result.estimates()}
+        assert answered_cols & set(mixed_schema.categorical_indices)
+        assert answered_cols & set(mixed_schema.continuous_indices)
+
+    def test_custom_name(self):
+        combined = CombinedInference(name="MV+Median")
+        assert combined.name == "MV+Median"
+
+    def test_default_name_mentions_both_parts(self):
+        assert "Majority" in CombinedInference().name

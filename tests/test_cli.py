@@ -1,0 +1,47 @@
+"""Tests for the tcrowd-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_registered(self):
+        for name in ("table7", "figure2", "figure5", "figure10", "efficiency"):
+            assert name in EXPERIMENTS
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table7"])
+        assert args.experiment == "table7"
+        assert args.seed == 7
+        assert not args.quick
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-an-experiment"])
+
+    def test_parser_dataset_choice(self):
+        args = build_parser().parse_args(["figure2", "--dataset", "Emotion"])
+        assert args.dataset == "Emotion"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure2", "--dataset", "Unknown"])
+
+
+class TestMain:
+    def test_quick_table7_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        code = main(["table7", "--quick", "--seed", "3", "--output", str(output)])
+        assert code == 0
+        text = output.read_text()
+        assert "table7" in text
+        assert "T-Crowd" in text
+        printed = capsys.readouterr().out
+        assert "T-Crowd" in printed
+
+    def test_quick_synthetic_runs_all_three_sweeps(self, capsys):
+        code = main(["synthetic", "--quick", "--seed", "3"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "figure7" in printed
+        assert "figure8" in printed
+        assert "figure9" in printed

@@ -1,0 +1,143 @@
+"""Tests for uniform entropy helpers and the shared numeric utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entropy import (
+    delta_entropy_comparable,
+    differential_entropy,
+    shannon_entropy,
+    uniform_entropy,
+)
+from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
+from repro.utils import numerics, rng as rng_utils, validation
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestEntropy:
+    def test_shannon_entropy_uniform_is_log_n(self):
+        assert shannon_entropy([0.25] * 4) == pytest.approx(np.log(4))
+
+    def test_shannon_entropy_accepts_unnormalised(self):
+        assert shannon_entropy([1, 1, 1, 1]) == pytest.approx(np.log(4))
+
+    def test_shannon_entropy_degenerate_is_zero(self):
+        assert shannon_entropy([1.0, 0.0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shannon_entropy_rejects_zero_mass(self):
+        with pytest.raises(ConfigurationError):
+            shannon_entropy([0.0, 0.0])
+
+    def test_differential_entropy_monotone_in_variance(self):
+        assert differential_entropy(4.0) > differential_entropy(1.0)
+
+    def test_differential_entropy_can_be_negative(self):
+        assert differential_entropy(1e-4) < 0
+
+    def test_differential_entropy_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            differential_entropy(0.0)
+
+    def test_uniform_entropy_dispatch(self):
+        categorical = CategoricalPosterior.uniform(("a", "b"))
+        continuous = GaussianPosterior(0.0, 1.0)
+        assert uniform_entropy(categorical) == pytest.approx(categorical.entropy())
+        assert uniform_entropy(continuous) == pytest.approx(continuous.entropy())
+
+    def test_uniform_entropy_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            uniform_entropy("not a posterior")
+
+    def test_delta_entropy(self):
+        assert delta_entropy_comparable(2.0, 0.5) == pytest.approx(1.5)
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=10))
+    @settings(max_examples=50)
+    def test_shannon_entropy_bounded_by_log_n(self, weights):
+        value = shannon_entropy(weights)
+        assert -1e-9 <= value <= np.log(len(weights)) + 1e-9
+
+
+class TestNumerics:
+    def test_safe_log_no_infinities(self):
+        values = numerics.safe_log(np.array([0.0, 1e-20, 1.0]))
+        assert np.all(np.isfinite(values))
+
+    def test_safe_erf_clipped(self):
+        assert 0.0 < float(numerics.safe_erf(0.0)) < 1e-6
+        assert 1.0 - 1e-6 < float(numerics.safe_erf(100.0)) < 1.0
+
+    def test_log_erf_finite(self):
+        assert np.isfinite(float(numerics.log_erf(1e-8)))
+
+    def test_normalize_log_probs(self):
+        probs = numerics.normalize_log_probs(np.array([0.0, 0.0, np.log(2.0)]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[2] == pytest.approx(0.5)
+
+    def test_normalize_log_probs_handles_large_values(self):
+        probs = numerics.normalize_log_probs(np.array([1000.0, 999.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[0] > probs[1]
+
+    def test_logsumexp(self):
+        assert float(numerics.logsumexp(np.log([1.0, 3.0]))) == pytest.approx(np.log(4.0))
+
+    def test_safe_var_floor(self):
+        assert numerics.safe_var(np.array([2.0, 2.0, 2.0])) >= 1e-6
+        assert numerics.safe_var(np.array([])) >= 1e-6
+
+    def test_safe_var_matches_numpy(self):
+        values = np.array([1.0, 2.0, 5.0])
+        assert numerics.safe_var(values) == pytest.approx(float(np.var(values)))
+
+
+class TestRngUtils:
+    def test_as_generator_accepts_int_none_generator(self):
+        generator = rng_utils.as_generator(3)
+        assert isinstance(generator, np.random.Generator)
+        assert rng_utils.as_generator(generator) is generator
+        assert isinstance(rng_utils.as_generator(None), np.random.Generator)
+
+    def test_as_generator_reproducible(self):
+        a = rng_utils.as_generator(5).integers(0, 1000, 10)
+        b = rng_utils.as_generator(5).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_spawn_generators_independent_and_reproducible(self):
+        first = [g.integers(0, 1000, 5) for g in rng_utils.spawn_generators(7, 3)]
+        second = [g.integers(0, 1000, 5) for g in rng_utils.spawn_generators(7, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_spawn_generators_from_generator(self):
+        children = rng_utils.spawn_generators(np.random.default_rng(0), 2)
+        assert len(children) == 2
+
+    def test_spawn_generators_negative_count(self):
+        with pytest.raises(ValueError):
+            rng_utils.spawn_generators(0, -1)
+
+
+class TestValidation:
+    def test_require(self):
+        validation.require(True, "ok")
+        with pytest.raises(ConfigurationError):
+            validation.require(False, "bad")
+
+    def test_require_positive(self):
+        validation.require_positive(1.0, "x")
+        with pytest.raises(ConfigurationError):
+            validation.require_positive(0, "x")
+
+    def test_require_probability(self):
+        validation.require_probability(0.5, "p")
+        with pytest.raises(ConfigurationError):
+            validation.require_probability(1.2, "p")
+
+    def test_require_in_range(self):
+        validation.require_in_range(3, 0, 5, "v")
+        with pytest.raises(ConfigurationError):
+            validation.require_in_range(9, 0, 5, "v")

@@ -1,0 +1,80 @@
+"""Smoke tests keeping the runnable examples in working order.
+
+Each example is imported from the ``examples/`` directory and executed with
+reduced parameters so the whole module stays fast.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    """Import an example script as a module without executing its __main__ guard."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "celebrity_truth_inference.py",
+            "adaptive_task_assignment.py",
+            "worker_quality_analysis.py",
+            "custom_table_collection.py",
+        } <= names
+
+    def test_quickstart_runs_and_recovers_truths(self, capsys):
+        module = _load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Estimated truths" in output
+        assert "Great Britain" in output          # picture 3's nationality
+        assert "Unified worker quality" in output
+
+    def test_celebrity_truth_inference_small(self, capsys, monkeypatch):
+        module = _load_example("celebrity_truth_inference.py")
+        monkeypatch.setattr(
+            sys, "argv", ["celebrity_truth_inference.py", "--rows", "20", "--seed", "3"]
+        )
+        module.main()
+        output = capsys.readouterr().out
+        assert "T-Crowd" in output
+        assert "Best error rate" in output
+
+    def test_worker_quality_analysis_small(self, capsys, monkeypatch):
+        module = _load_example("worker_quality_analysis.py")
+        monkeypatch.setattr(
+            sys, "argv", ["worker_quality_analysis.py", "--rows", "30", "--top", "8"]
+        )
+        module.main()
+        output = capsys.readouterr().out
+        assert "Calibration" in output
+        assert "estimated quality" in output
+
+    def test_adaptive_task_assignment_small(self, capsys, monkeypatch):
+        module = _load_example("adaptive_task_assignment.py")
+        monkeypatch.setattr(
+            sys, "argv",
+            ["adaptive_task_assignment.py", "--rows", "10", "--budget", "2.5"],
+        )
+        module.main()
+        output = capsys.readouterr().out
+        assert "Structure-aware IG" in output
+        assert "answers/task" in output
+
+    def test_custom_table_collection(self, capsys):
+        module = _load_example("custom_table_collection.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Final catalogue quality" in output
+        assert "error rate" in output

@@ -1,0 +1,136 @@
+"""Tests for the effectiveness metrics (repro.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.schema import Column, TableSchema
+from repro.datasets.base import CrowdDataset
+from repro.metrics import as_estimates, column_rmse, error_rate, mnad, pearson_correlation
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture()
+def toy_dataset():
+    schema = TableSchema.build(
+        "e",
+        [
+            Column.categorical("cat", ["a", "b"]),
+            Column.continuous("x", (0, 10)),
+            Column.continuous("y", (0, 100)),
+        ],
+        4,
+    )
+    truth = {}
+    for i in range(4):
+        truth[(i, 0)] = "a" if i % 2 == 0 else "b"
+        truth[(i, 1)] = float(i)
+        truth[(i, 2)] = float(10 * i)
+    answers = AnswerSet(schema)
+    for i in range(4):
+        answers.add_answer("w1", i, 0, truth[(i, 0)])
+        answers.add_answer("w2", i, 0, "a")
+        answers.add_answer("w1", i, 1, truth[(i, 1)] + 0.5)
+        answers.add_answer("w2", i, 1, truth[(i, 1)] * 2.0)
+        answers.add_answer("w1", i, 2, truth[(i, 2)] - 5.0)
+    return CrowdDataset("toy", schema, truth, answers)
+
+
+class TestAsEstimates:
+    def test_accepts_mapping(self, toy_dataset):
+        estimates = {(0, 0): "a"}
+        assert as_estimates(estimates, toy_dataset) == estimates
+
+    def test_accepts_objects_with_estimates_method(self, toy_dataset):
+        class Stub:
+            def estimates(self):
+                return {(0, 0): "a"}
+
+        assert as_estimates(Stub(), toy_dataset) == {(0, 0): "a"}
+
+    def test_rejects_unknown_types(self, toy_dataset):
+        with pytest.raises(DataError):
+            as_estimates(42, toy_dataset)
+
+
+class TestErrorRate:
+    def test_perfect_estimates(self, toy_dataset):
+        estimates = {cell: value for cell, value in toy_dataset.ground_truth.items()}
+        assert error_rate(estimates, toy_dataset) == 0.0
+
+    def test_half_wrong(self, toy_dataset):
+        estimates = dict(toy_dataset.ground_truth)
+        estimates[(1, 0)] = "a"   # truth is "b"
+        estimates[(3, 0)] = "a"   # truth is "b"
+        assert error_rate(estimates, toy_dataset) == pytest.approx(0.5)
+
+    def test_missing_estimates_count_as_errors(self, toy_dataset):
+        assert error_rate({}, toy_dataset) == 1.0
+
+    def test_column_restriction(self, toy_dataset):
+        estimates = dict(toy_dataset.ground_truth)
+        assert error_rate(estimates, toy_dataset, columns=[0]) == 0.0
+
+    def test_requires_categorical_cells(self, toy_dataset):
+        with pytest.raises(DataError):
+            error_rate({}, toy_dataset, columns=[1])
+
+
+class TestColumnRmseAndMnad:
+    def test_column_rmse_exact(self, toy_dataset):
+        estimates = dict(toy_dataset.ground_truth)
+        assert column_rmse(estimates, toy_dataset, 1) == pytest.approx(0.0)
+        estimates[(0, 1)] = toy_dataset.ground_truth[(0, 1)] + 2.0
+        assert column_rmse(estimates, toy_dataset, 1) == pytest.approx(np.sqrt(4.0 / 4))
+
+    def test_column_rmse_rejects_categorical(self, toy_dataset):
+        with pytest.raises(DataError):
+            column_rmse({}, toy_dataset, 0)
+
+    def test_mnad_zero_for_perfect_estimates(self, toy_dataset):
+        assert mnad(dict(toy_dataset.ground_truth), toy_dataset) == pytest.approx(0.0)
+
+    def test_mnad_scale_invariance_via_normalisation(self, toy_dataset):
+        # An identical *relative* error on both continuous columns yields the
+        # same normalised contribution despite the 10x scale difference.
+        estimates = dict(toy_dataset.ground_truth)
+        for i in range(4):
+            estimates[(i, 1)] = toy_dataset.ground_truth[(i, 1)] + 1.0
+            estimates[(i, 2)] = toy_dataset.ground_truth[(i, 2)] + 10.0
+        per_column_1 = mnad(estimates, toy_dataset, columns=[1], normalize_by="truth")
+        per_column_2 = mnad(estimates, toy_dataset, columns=[2], normalize_by="truth")
+        assert per_column_1 == pytest.approx(per_column_2)
+
+    def test_mnad_normalize_by_answers_differs_from_truth(self, toy_dataset):
+        estimates = dict(toy_dataset.ground_truth)
+        estimates[(0, 1)] = 99.0
+        by_answers = mnad(estimates, toy_dataset, normalize_by="answers")
+        by_truth = mnad(estimates, toy_dataset, normalize_by="truth")
+        assert by_answers != pytest.approx(by_truth)
+
+    def test_mnad_invalid_normaliser(self, toy_dataset):
+        with pytest.raises(DataError):
+            mnad({}, toy_dataset, normalize_by="bogus")
+
+    def test_mnad_requires_continuous_cells(self, toy_dataset):
+        with pytest.raises(DataError):
+            mnad({}, toy_dataset, columns=[0])
+
+    def test_missing_continuous_estimates_penalised(self, toy_dataset):
+        complete = mnad(dict(toy_dataset.ground_truth), toy_dataset)
+        assert mnad({}, toy_dataset) > complete
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_anti_correlation(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_degenerate_vector_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            pearson_correlation([1, 2], [1, 2, 3])

@@ -1,0 +1,181 @@
+"""Tests for the crowdsourcing-platform simulator (repro.platform)."""
+
+import pytest
+
+from repro.baselines.assignment_simple import RandomAssigner
+from repro.baselines.combined import CombinedInference
+from repro.core.assignment import TCrowdAssigner
+from repro.core.inference import TCrowdModel
+from repro.datasets import WorkerPool, generate_synthetic
+from repro.platform import Budget, CrowdsourcingSession, WorkerArrivalProcess
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestBudget:
+    def test_charge_and_exhaustion(self):
+        budget = Budget(total_answers=5)
+        assert not budget.exhausted
+        budget.charge(3)
+        assert budget.remaining_answers == 2
+        budget.charge(2)
+        assert budget.exhausted
+        assert budget.remaining_answers == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(total_answers=5).charge(-1)
+
+    def test_money_accounting(self):
+        budget = Budget(total_answers=10, cost_per_answer=0.05)
+        budget.charge(4)
+        assert budget.spent_money == pytest.approx(0.2)
+
+    def test_from_answers_per_task(self, mixed_schema):
+        budget = Budget.from_answers_per_task(mixed_schema, 2.0)
+        assert budget.total_answers == 2 * mixed_schema.num_cells
+        budget.charge(mixed_schema.num_cells)
+        assert budget.answers_per_task(mixed_schema) == pytest.approx(1.0)
+
+    def test_positive_total_required(self):
+        with pytest.raises(ConfigurationError):
+            Budget(total_answers=0)
+
+
+class TestWorkerArrivalProcess:
+    def test_yields_known_workers(self):
+        pool = WorkerPool.generate(10, seed=0)
+        arrival = WorkerArrivalProcess(pool, seed=1)
+        workers = list(arrival.stream(50))
+        assert len(workers) == 50
+        assert set(workers) <= set(pool.worker_ids())
+
+    def test_sessions_create_repeat_visits(self):
+        pool = WorkerPool.generate(30, seed=0)
+        arrival = WorkerArrivalProcess(pool, seed=2, session_continue_probability=0.9)
+        workers = list(arrival.stream(100))
+        repeats = sum(1 for a, b in zip(workers, workers[1:]) if a == b)
+        assert repeats > 30
+
+    def test_no_sessions_when_probability_zero(self):
+        pool = WorkerPool.generate(30, seed=0)
+        arrival = WorkerArrivalProcess(pool, seed=3, session_continue_probability=0.0)
+        workers = list(arrival.stream(200))
+        assert len(set(workers)) > 10
+
+    def test_reproducible(self):
+        pool = WorkerPool.generate(10, seed=0)
+        a = list(WorkerArrivalProcess(pool, seed=7).stream(20))
+        b = list(WorkerArrivalProcess(pool, seed=7).stream(20))
+        assert a == b
+
+    def test_invalid_probability(self):
+        pool = WorkerPool.generate(5, seed=0)
+        with pytest.raises(ConfigurationError):
+            WorkerArrivalProcess(pool, session_continue_probability=1.0)
+
+
+class TestCrowdsourcingSession:
+    @pytest.fixture(scope="class")
+    def session_dataset(self):
+        return generate_synthetic(
+            num_rows=10, num_columns=4, categorical_ratio=0.5,
+            answers_per_task=2, num_workers=15, seed=8,
+        )
+
+    def test_requires_oracle(self, session_dataset):
+        stripped = session_dataset.with_answers(session_dataset.answers)
+        stripped.oracle = None
+        with pytest.raises(ConfigurationError):
+            CrowdsourcingSession(
+                stripped, RandomAssigner(stripped.schema, seed=0),
+                CombinedInference(), target_answers_per_task=3.0,
+            )
+
+    def test_budget_must_exceed_seed(self, session_dataset):
+        with pytest.raises(ConfigurationError):
+            CrowdsourcingSession(
+                session_dataset, RandomAssigner(session_dataset.schema, seed=0),
+                CombinedInference(), target_answers_per_task=1.0,
+                initial_answers_per_task=1,
+            )
+
+    def test_random_policy_session(self, session_dataset):
+        session = CrowdsourcingSession(
+            session_dataset,
+            RandomAssigner(session_dataset.schema, seed=0),
+            CombinedInference(),
+            target_answers_per_task=3.0,
+            initial_answers_per_task=1,
+            eval_every_answers_per_task=1.0,
+            seed=4,
+        )
+        trace = session.run()
+        assert trace.records[0].answers_per_task == pytest.approx(1.0)
+        assert trace.final.answers_per_task == pytest.approx(3.0, abs=0.1)
+        assert trace.final.error_rate is not None
+        assert trace.final.mnad is not None
+        # Budget axis is monotone.
+        apts = [record.answers_per_task for record in trace.records]
+        assert apts == sorted(apts)
+
+    def test_quality_improves_with_budget(self, session_dataset):
+        session = CrowdsourcingSession(
+            session_dataset,
+            RandomAssigner(session_dataset.schema, seed=1),
+            CombinedInference(),
+            target_answers_per_task=5.0,
+            initial_answers_per_task=1,
+            eval_every_answers_per_task=2.0,
+            seed=5,
+        )
+        trace = session.run()
+        # Going from 1 to 5 answers per task should not leave the estimate
+        # quality worse than at the start (small slack for the stochastic
+        # denominator of MNAD).
+        assert trace.final.mnad <= trace.records[0].mnad + 0.05
+
+    def test_tcrowd_policy_session(self, session_dataset):
+        model = TCrowdModel(max_iterations=6, m_step_iterations=10)
+        policy = TCrowdAssigner(
+            session_dataset.schema, model=model, refit_every=8, use_structure=True
+        )
+        session = CrowdsourcingSession(
+            session_dataset, policy, model,
+            target_answers_per_task=2.5,
+            initial_answers_per_task=1,
+            eval_every_answers_per_task=1.0,
+            seed=6,
+        )
+        trace = session.run()
+        assert trace.policy_name.startswith("T-Crowd")
+        assert len(trace.records) >= 2
+
+    def test_trace_helpers(self, session_dataset):
+        session = CrowdsourcingSession(
+            session_dataset,
+            RandomAssigner(session_dataset.schema, seed=2),
+            CombinedInference(),
+            target_answers_per_task=3.0,
+            eval_every_answers_per_task=1.0,
+            seed=7,
+        )
+        trace = session.run()
+        series = trace.series("mnad")
+        assert all(len(point) == 2 for point in series)
+        # answers_to_reach returns None for unreachable targets and a value
+        # within the budget for trivially reachable ones.
+        assert trace.answers_to_reach("mnad", -1.0) is None
+        assert trace.answers_to_reach("mnad", 10.0) is not None
+
+    def test_max_steps_guard(self, session_dataset):
+        session = CrowdsourcingSession(
+            session_dataset,
+            RandomAssigner(session_dataset.schema, seed=3),
+            CombinedInference(),
+            target_answers_per_task=4.0,
+            eval_every_answers_per_task=1.0,
+            seed=8,
+            max_steps=2,
+        )
+        trace = session.run()
+        assert trace.final.answers_per_task < 4.0

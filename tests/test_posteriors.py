@@ -1,0 +1,152 @@
+"""Unit and property tests for the truth posteriors (repro.core.posteriors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestGaussianPosterior:
+    def test_point_estimate_is_mean(self):
+        posterior = GaussianPosterior(3.0, 2.0)
+        assert posterior.point_estimate() == 3.0
+        assert not posterior.is_categorical
+
+    def test_entropy_formula(self):
+        posterior = GaussianPosterior(0.0, 1.0)
+        assert posterior.entropy() == pytest.approx(0.5 * np.log(2 * np.pi * np.e))
+
+    def test_entropy_increases_with_variance(self):
+        assert GaussianPosterior(0, 4.0).entropy() > GaussianPosterior(0, 1.0).entropy()
+
+    def test_nonpositive_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianPosterior(0.0, 0.0)
+
+    def test_update_reduces_variance(self):
+        posterior = GaussianPosterior(0.0, 4.0)
+        updated = posterior.updated_with_answer(2.0, 1.0)
+        assert updated.variance < posterior.variance
+        assert 0.0 < updated.mean < 2.0
+
+    def test_update_matches_precision_weighting(self):
+        posterior = GaussianPosterior(0.0, 1.0)
+        updated = posterior.updated_with_answer(10.0, 1.0)
+        assert updated.mean == pytest.approx(5.0)
+        assert updated.variance == pytest.approx(0.5)
+
+    def test_updated_variance_is_value_independent(self):
+        posterior = GaussianPosterior(0.0, 4.0)
+        expected = posterior.updated_variance(1.0)
+        for value in (-5.0, 0.0, 7.0):
+            assert posterior.updated_with_answer(value, 1.0).variance == pytest.approx(expected)
+
+    def test_update_requires_positive_answer_variance(self):
+        with pytest.raises(ConfigurationError):
+            GaussianPosterior(0.0, 1.0).updated_with_answer(1.0, 0.0)
+
+    def test_predictive_variance(self):
+        posterior = GaussianPosterior(0.0, 2.0)
+        assert posterior.predictive_variance(3.0) == pytest.approx(5.0)
+
+    def test_scaled(self):
+        posterior = GaussianPosterior(1.0, 2.0)
+        scaled = posterior.scaled(10.0, 5.0)
+        assert scaled.mean == pytest.approx(15.0)
+        assert scaled.variance == pytest.approx(200.0)
+
+    @given(
+        st.floats(-100, 100), st.floats(0.01, 100),
+        st.floats(-100, 100), st.floats(0.01, 100),
+    )
+    @settings(max_examples=50)
+    def test_update_never_increases_variance(self, mean, var, value, answer_var):
+        posterior = GaussianPosterior(mean, var)
+        updated = posterior.updated_with_answer(value, answer_var)
+        assert updated.variance <= posterior.variance + 1e-12
+
+    @given(st.floats(0.01, 50), st.floats(0.01, 50))
+    @settings(max_examples=50)
+    def test_information_gain_is_positive(self, var, answer_var):
+        posterior = GaussianPosterior(0.0, var)
+        updated_var = posterior.updated_variance(answer_var)
+        assert 0.5 * np.log(var / updated_var) > 0
+
+
+class TestCategoricalPosterior:
+    def test_uniform(self):
+        posterior = CategoricalPosterior.uniform(("a", "b", "c", "d"))
+        assert posterior.is_categorical
+        assert posterior.num_labels == 4
+        assert np.allclose(posterior.probs, 0.25)
+        assert posterior.entropy() == pytest.approx(np.log(4))
+
+    def test_probs_normalised(self):
+        posterior = CategoricalPosterior(("a", "b"), np.array([2.0, 6.0]))
+        assert posterior.probs.sum() == pytest.approx(1.0)
+        assert posterior.prob_of("b") == pytest.approx(0.75)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalPosterior(("a", "b"), np.array([1.0, 2.0, 3.0]))
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalPosterior(("a", "b"), np.array([0.0, 0.0]))
+
+    def test_point_estimate_is_argmax(self):
+        posterior = CategoricalPosterior(("a", "b", "c"), np.array([0.1, 0.7, 0.2]))
+        assert posterior.point_estimate() == "b"
+
+    def test_update_moves_mass_toward_answer(self):
+        posterior = CategoricalPosterior.uniform(("a", "b", "c"))
+        updated = posterior.updated_with_answer(1, quality=0.9)
+        assert updated.point_estimate() == "b"
+        assert updated.prob_of("b") > posterior.prob_of("b")
+
+    def test_update_with_poor_quality_barely_moves(self):
+        posterior = CategoricalPosterior.uniform(("a", "b", "c"))
+        # quality equal to chance level (1/3) carries no information.
+        updated = posterior.updated_with_answer(0, quality=1.0 / 3.0)
+        assert np.allclose(updated.probs, posterior.probs, atol=1e-9)
+
+    def test_update_out_of_range_label(self):
+        posterior = CategoricalPosterior.uniform(("a", "b"))
+        with pytest.raises(ConfigurationError):
+            posterior.updated_with_answer(5, quality=0.8)
+
+    def test_predictive_answer_probs_sum_to_one(self):
+        posterior = CategoricalPosterior(("a", "b", "c"), np.array([0.5, 0.3, 0.2]))
+        probs = posterior.predictive_answer_probs(0.8)
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[0] > probs[2]
+
+    def test_entropy_zero_for_certain_posterior(self):
+        posterior = CategoricalPosterior(("a", "b"), np.array([1.0, 1e-15]))
+        assert posterior.entropy() == pytest.approx(0.0, abs=1e-6)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(0.05, 0.95),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=60)
+    def test_update_keeps_valid_distribution(self, num_labels, quality, label):
+        label = label % num_labels
+        labels = tuple(f"l{i}" for i in range(num_labels))
+        posterior = CategoricalPosterior.uniform(labels)
+        updated = posterior.updated_with_answer(label, quality)
+        assert updated.probs.shape == (num_labels,)
+        assert updated.probs.sum() == pytest.approx(1.0)
+        assert np.all(updated.probs >= 0)
+
+    @given(st.integers(min_value=2, max_value=8), st.floats(0.5, 0.99))
+    @settings(max_examples=40)
+    def test_confident_answer_reduces_entropy(self, num_labels, quality):
+        labels = tuple(f"l{i}" for i in range(num_labels))
+        posterior = CategoricalPosterior.uniform(labels)
+        updated = posterior.updated_with_answer(0, quality)
+        if quality > 1.0 / num_labels + 0.01:
+            assert updated.entropy() < posterior.entropy() + 1e-9

@@ -1,0 +1,58 @@
+"""Tests for the experiment reporting helpers."""
+
+import pytest
+
+from repro.experiments.reporting import ExperimentReport, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rendering(self):
+        text = format_table(
+            ["Method", "Error"],
+            [["T-Crowd", 0.0441], ["Majority Voting", None]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Method")
+        assert "0.0441" in text
+        assert "/" in text  # None rendered as '/'
+        # Header, separator and two data rows.
+        assert len(lines) == 4
+
+    def test_precision(self):
+        text = format_table(["x"], [[0.123456]], precision=2)
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestExperimentReport:
+    def test_add_row_and_series_and_notes(self):
+        report = ExperimentReport("table7", "Truth inference", headers=["Method", "Err"])
+        report.add_row("T-Crowd", 0.04)
+        report.add_series("curve", [(1, 0.3), (2, 0.2)])
+        report.add_note("configuration X")
+        text = report.to_text()
+        assert "table7" in text
+        assert "T-Crowd" in text
+        assert "curve" in text
+        assert "configuration X" in text
+
+    def test_best_by_minimise(self):
+        report = ExperimentReport("x", "t", headers=["Method", "Err"])
+        report.add_row("A", 0.5)
+        report.add_row("B", 0.2)
+        report.add_row("C", None)
+        assert report.best_by("Err")[0] == "B"
+        assert report.best_by("Err", minimize=False)[0] == "A"
+
+    def test_best_by_unknown_column(self):
+        report = ExperimentReport("x", "t", headers=["Method"])
+        assert report.best_by("missing") is None
+
+    def test_best_by_no_numeric_rows(self):
+        report = ExperimentReport("x", "t", headers=["Method", "Err"])
+        report.add_row("A", None)
+        assert report.best_by("Err") is None

@@ -1,0 +1,133 @@
+"""Unit and property tests for the unified worker model (repro.core.worker_model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.worker_model import WorkerModel
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestQualityVarianceMapping:
+    def test_quality_decreases_with_variance(self):
+        model = WorkerModel(1.0)
+        qualities = model.quality_from_variance(np.array([0.1, 1.0, 10.0]))
+        assert qualities[0] > qualities[1] > qualities[2]
+
+    def test_quality_in_unit_interval(self):
+        model = WorkerModel(1.0)
+        for variance in (1e-6, 0.5, 5.0, 1e6):
+            quality = float(model.quality_from_variance(variance))
+            assert 0.0 < quality < 1.0
+
+    def test_variance_from_quality_roundtrip(self):
+        model = WorkerModel(1.0)
+        for variance in (0.2, 1.0, 4.0):
+            quality = float(model.quality_from_variance(variance))
+            assert model.variance_from_quality(quality) == pytest.approx(variance, rel=1e-4)
+
+    def test_variance_from_quality_validates(self):
+        model = WorkerModel(1.0)
+        with pytest.raises(ConfigurationError):
+            model.variance_from_quality(1.5)
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkerModel(0.0)
+
+    def test_larger_epsilon_means_larger_quality(self):
+        variance = 1.0
+        assert WorkerModel(2.0).quality_from_variance(variance) > WorkerModel(
+            0.5
+        ).quality_from_variance(variance)
+
+    def test_cell_quality_uses_difficulty_product(self):
+        model = WorkerModel(1.0)
+        base = float(model.cell_quality(1.0, 1.0, 1.0))
+        harder = float(model.cell_quality(2.0, 2.0, 1.0))
+        assert harder < base
+
+    @given(st.floats(0.01, 100), st.floats(0.01, 100))
+    @settings(max_examples=50)
+    def test_quality_monotone_in_variance(self, v1, v2):
+        model = WorkerModel(1.0)
+        q1 = float(model.quality_from_variance(v1))
+        q2 = float(model.quality_from_variance(v2))
+        if v1 < v2:
+            assert q1 >= q2
+        else:
+            assert q2 >= q1
+
+
+class TestLikelihoods:
+    def test_continuous_log_likelihood_peaks_at_truth(self):
+        model = WorkerModel(1.0)
+        at_truth = model.continuous_log_likelihood(5.0, 5.0, 1.0)
+        off_truth = model.continuous_log_likelihood(7.0, 5.0, 1.0)
+        assert at_truth > off_truth
+
+    def test_continuous_log_likelihood_matches_gaussian(self):
+        model = WorkerModel(1.0)
+        value = model.continuous_log_likelihood(1.0, 0.0, 2.0)
+        expected = -0.5 * np.log(2 * np.pi * 2.0) - 1.0 / 4.0
+        assert float(value) == pytest.approx(expected)
+
+    def test_categorical_log_likelihood(self):
+        model = WorkerModel(1.0)
+        correct = float(model.categorical_log_likelihood(True, 0.8, 5))
+        wrong = float(model.categorical_log_likelihood(False, 0.8, 5))
+        assert correct == pytest.approx(np.log(0.8))
+        assert wrong == pytest.approx(np.log(0.2 / 4))
+
+    def test_categorical_log_likelihood_vectorised(self):
+        model = WorkerModel(1.0)
+        values = model.categorical_log_likelihood(
+            np.array([True, False]), np.array([0.9, 0.9]), 3
+        )
+        assert values.shape == (2,)
+        assert values[0] > values[1]
+
+
+class TestSampling:
+    def test_continuous_sampling_centred_on_truth(self):
+        model = WorkerModel(1.0)
+        rng = np.random.default_rng(0)
+        samples = [model.sample_continuous_answer(rng, 10.0, 0.25) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(10.0, abs=0.15)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.1)
+
+    def test_continuous_sampling_requires_positive_variance(self):
+        model = WorkerModel(1.0)
+        with pytest.raises(ConfigurationError):
+            model.sample_continuous_answer(np.random.default_rng(0), 0.0, -1.0)
+
+    def test_categorical_sampling_rate_matches_quality(self):
+        model = WorkerModel(1.0)
+        rng = np.random.default_rng(1)
+        quality = 0.7
+        hits = sum(
+            model.sample_categorical_answer(rng, 2, quality, 4) == 2
+            for _ in range(2000)
+        )
+        assert hits / 2000 == pytest.approx(quality, abs=0.05)
+
+    def test_categorical_sampling_with_binary_labels(self):
+        model = WorkerModel(1.0)
+        rng = np.random.default_rng(2)
+        answers = {
+            model.sample_categorical_answer(rng, 0, 0.5, 2) for _ in range(50)
+        }
+        assert answers <= {0, 1}
+
+    def test_categorical_sampling_single_label_degenerate(self):
+        model = WorkerModel(1.0)
+        rng = np.random.default_rng(3)
+        assert model.sample_categorical_answer(rng, 0, 0.0, 1) == 0
+
+    @given(st.floats(0.0, 1.0), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=40)
+    def test_sampled_label_always_valid(self, quality, num_labels):
+        model = WorkerModel(1.0)
+        rng = np.random.default_rng(4)
+        label = model.sample_categorical_answer(rng, 1, quality, num_labels)
+        assert 0 <= label < num_labels
