@@ -1,0 +1,81 @@
+"""Entry point that records the engine's timing baseline to BENCH_engine.json.
+
+Runs the end-to-end online assignment loop of ``measure_engine_speedup`` at
+the Algorithm 2 cadence (``refit_every=1``) on the seed path (cold EM, scalar
+gains, full candidate rescans) and on the engine paths (incremental indexes +
+vectorised batch gains, with and without warm-started EM), then writes the
+wall-clock numbers and the decision-equivalence checks as JSON.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--out BENCH_engine.json]
+
+``--smoke`` shrinks the scenario so CI can exercise the full code path in a
+few seconds (the recorded speedup of a smoke run is not a baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.efficiency import measure_engine_speedup  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="where to write the JSON baseline (default: repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rows", type=int, default=60)
+    parser.add_argument("--target", type=float, default=2.0,
+                        help="budget in answers per task")
+    parser.add_argument("--refit-every", type=int, default=1)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scenario for CI (not a baseline)")
+    args = parser.parse_args(argv)
+
+    rows = 12 if args.smoke else args.rows
+    target = 1.5 if args.smoke else args.target
+    stats = measure_engine_speedup(
+        seed=args.seed,
+        num_rows=rows,
+        target_answers_per_task=target,
+        refit_every=args.refit_every,
+    )
+    payload = {
+        "benchmark": "engine_online_loop",
+        "smoke": bool(args.smoke),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **stats,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(json.dumps(payload, indent=2))
+    if not stats["identical_assignments"]:
+        print("FAIL: exact engine path diverged from the seed path", file=sys.stderr)
+        return 1
+    if not args.smoke and stats["speedup"] < 3.0:
+        print(
+            f"FAIL: exact-path speedup {stats['speedup']:.2f}x below the 3x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

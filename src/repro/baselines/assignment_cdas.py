@@ -17,8 +17,9 @@ Confidence here follows the spirit of CDAS's majority-vote termination rule:
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +48,12 @@ class CDASAssigner(AssignmentPolicy):
         self.sem_threshold = float(sem_threshold)
         self.min_answers = int(min_answers)
         self._rng = as_generator(seed)
+        # Termination verdicts are a pure function of the cell's answers and
+        # the column's answer spread; cache them keyed by the (cell count,
+        # column count) pair so the online loop re-evaluates a cell only when
+        # new evidence actually arrived.
+        self._verdicts: Dict[Tuple[int, int], Tuple[int, int, bool]] = {}
+        self._verdict_source: Optional[weakref.ref] = None
 
     @property
     def name(self) -> str:
@@ -56,6 +63,22 @@ class CDASAssigner(AssignmentPolicy):
 
     def is_terminated(self, answers: AnswerSet, row: int, col: int) -> bool:
         """True if the cell's current estimate is already confident enough."""
+        source = (
+            self._verdict_source() if self._verdict_source is not None else None
+        )
+        if source is not answers:
+            self._verdicts.clear()
+            self._verdict_source = weakref.ref(answers)
+        cell_count = answers.answer_count(row, col)
+        column_count = answers.column_answer_count(col)
+        cached = self._verdicts.get((row, col))
+        if cached is not None and cached[0] == cell_count and cached[1] == column_count:
+            return cached[2]
+        verdict = self._evaluate_termination(answers, row, col)
+        self._verdicts[(row, col)] = (cell_count, column_count, verdict)
+        return verdict
+
+    def _evaluate_termination(self, answers: AnswerSet, row: int, col: int) -> bool:
         cell_answers = answers.answers_for_cell(row, col)
         if len(cell_answers) < self.min_answers:
             return False

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.answers import AnswerSet
-from repro.core.assignment import AssignmentPolicy, BatchAssignment, Cell
+from repro.core.assignment import AssignmentPolicy, BatchAssignment, Cell, refit_model
 from repro.core.inference import TCrowdModel
 from repro.core.schema import TableSchema
 from repro.utils.exceptions import AssignmentError
@@ -88,10 +88,12 @@ class EntropyAssigner(AssignmentPolicy):
 
     def __init__(self, schema: TableSchema, model: Optional[TCrowdModel] = None,
                  refit_every: int = 1,
-                 max_answers_per_cell: Optional[int] = None) -> None:
+                 max_answers_per_cell: Optional[int] = None,
+                 warm_start: bool = True) -> None:
         super().__init__(schema, max_answers_per_cell=max_answers_per_cell)
         self.model = model or TCrowdModel()
         self.refit_every = max(int(refit_every), 1)
+        self.warm_start = bool(warm_start)
         self._result = None
         self._answers_at_last_fit = -1
 
@@ -124,6 +126,9 @@ class EntropyAssigner(AssignmentPolicy):
             or len(answers) - self._answers_at_last_fit >= self.refit_every
         )
         if stale:
-            self._result = self.model.fit(self.schema, answers)
+            self._result = refit_model(
+                self.model, self.schema, answers,
+                previous=self._result, warm_start=self.warm_start,
+            )
             self._answers_at_last_fit = len(answers)
         return self._result

@@ -15,6 +15,7 @@ from repro.core.entropy import (
 )
 from repro.core.inference import InferenceResult, TCrowdModel
 from repro.core.information_gain import InformationGainCalculator
+from repro.core.posteriors import CategoricalPosterior, GaussianPosterior, Posterior
 from repro.core.restricted import TCrowdCategoricalOnly, TCrowdContinuousOnly
 from repro.core.schema import AttributeType, Column, TableSchema
 from repro.core.structure_gain import StructureAwareGainCalculator
@@ -27,7 +28,10 @@ __all__ = [
     "AttributeCorrelationModel",
     "AttributeType",
     "BatchAssignment",
+    "CategoricalPosterior",
     "Column",
+    "GaussianPosterior",
+    "Posterior",
     "IndexedAnswers",
     "InferenceResult",
     "InformationGainCalculator",

@@ -50,6 +50,15 @@ class AnswerSet:
         self._by_worker: Dict[str, List[int]] = {}
         self._by_row: Dict[int, List[int]] = {}
         self._by_col: Dict[int, List[int]] = {}
+        # Append-only parallel buffers kept in sync by add(); they let
+        # IndexedAnswers (rebuilt on every online refit) vectorise without a
+        # per-answer Python loop.
+        self._worker_order: Dict[str, int] = {}
+        self._buf_rows: List[int] = []
+        self._buf_cols: List[int] = []
+        self._buf_workers: List[int] = []
+        self._buf_values: List[float] = []
+        self._buf_labels: List[int] = []
         for answer in answers:
             self.add(answer)
 
@@ -84,6 +93,19 @@ class AnswerSet:
         self._by_worker.setdefault(answer.worker, []).append(index)
         self._by_row.setdefault(answer.row, []).append(index)
         self._by_col.setdefault(answer.col, []).append(index)
+        worker_index = self._worker_order.get(answer.worker)
+        if worker_index is None:
+            worker_index = len(self._worker_order)
+            self._worker_order[answer.worker] = worker_index
+        self._buf_rows.append(answer.row)
+        self._buf_cols.append(answer.col)
+        self._buf_workers.append(worker_index)
+        if column.is_categorical:
+            self._buf_values.append(float("nan"))
+            self._buf_labels.append(column.label_index(answer.value))
+        else:
+            self._buf_values.append(float(answer.value))
+            self._buf_labels.append(-1)
 
     def add_answer(self, worker: str, row: int, col: int, value) -> None:
         """Convenience wrapper constructing and adding an :class:`Answer`."""
@@ -126,10 +148,20 @@ class AnswerSet:
 
     def has_answered(self, worker: str, row: int, col: int) -> bool:
         """True if ``worker`` already answered cell ``(row, col)``."""
-        return any(
-            answer.worker == worker
-            for answer in self.answers_for_cell(row, col)
-        )
+        indexes = self._by_cell.get((row, col))
+        if not indexes:
+            return False
+        return any(self._answers[i].worker == worker for i in indexes)
+
+    def answer_count(self, row: int, col: int) -> int:
+        """Number of answers collected for cell ``(row, col)`` (O(1))."""
+        indexes = self._by_cell.get((row, col))
+        return len(indexes) if indexes else 0
+
+    def column_answer_count(self, col: int) -> int:
+        """Number of answers collected for column ``col`` (O(1))."""
+        indexes = self._by_col.get(col)
+        return len(indexes) if indexes else 0
 
     @property
     def workers(self) -> List[str]:
@@ -192,24 +224,15 @@ class IndexedAnswers:
         self.worker_index: Dict[str, int] = {
             worker: u for u, worker in enumerate(self.worker_ids)
         }
-        size = len(answers)
-        self.rows = np.empty(size, dtype=np.int64)
-        self.cols = np.empty(size, dtype=np.int64)
-        self.workers = np.empty(size, dtype=np.int64)
-        self.values = np.full(size, np.nan, dtype=float)
-        self.label_indices = np.full(size, -1, dtype=np.int64)
-        for idx, answer in enumerate(answers):
-            column = schema.columns[answer.col]
-            self.rows[idx] = answer.row
-            self.cols[idx] = answer.col
-            self.workers[idx] = self.worker_index[answer.worker]
-            if column.is_categorical:
-                self.label_indices[idx] = column.label_index(answer.value)
-            else:
-                self.values[idx] = float(answer.value)
-        self.is_categorical = np.array(
-            [schema.columns[j].is_categorical for j in self.cols], dtype=bool
+        self.rows = np.asarray(answers._buf_rows, dtype=np.int64)
+        self.cols = np.asarray(answers._buf_cols, dtype=np.int64)
+        self.workers = np.asarray(answers._buf_workers, dtype=np.int64)
+        self.values = np.asarray(answers._buf_values, dtype=float)
+        self.label_indices = np.asarray(answers._buf_labels, dtype=np.int64)
+        column_is_categorical = np.array(
+            [column.is_categorical for column in schema.columns], dtype=bool
         )
+        self.is_categorical = column_is_categorical[self.cols]
         self.is_continuous = ~self.is_categorical
         self._cell_groups: Dict[Tuple[int, int], np.ndarray] = {}
         order = np.lexsort((self.cols, self.rows))

@@ -6,22 +6,84 @@ incoming worker and the answers collected so far, pick the next cell(s) to
 assign.  :class:`TCrowdAssigner` implements the paper's policy — rank every
 candidate cell by (structure-aware) information gain and greedily take the
 top K (Eq. 9).
+
+The online loop runs on the incremental engine layer
+(:mod:`repro.engine`): candidate filtering consults a
+:class:`~repro.engine.SessionState` updated O(1) per new answer, refits are
+warm-started from the previous :class:`~repro.core.inference.InferenceResult`,
+and gains are scored in one vectorised batch.  Every fast path has a
+compatibility switch (``incremental`` / ``warm_start`` / ``vectorized``) that
+restores the from-scratch behaviour of the seed implementation; the
+benchmarks use those switches to verify that both paths take identical
+assignment decisions.
+
+One deliberate behaviour change sits outside the switches: the Monte-Carlo
+gain estimator (``continuous_samples > 0``) now draws from a single
+persistent generator shared by every calculator this assigner builds.  The
+seed implementation re-created the generator per ``select``, which with an
+integer seed replayed the *same* samples on every call — the dead-seed bug
+this fixes.  The closed-form path (``continuous_samples=0``, the default and
+the only path the equivalence benchmark exercises) is unaffected.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.answers import AnswerSet
 from repro.core.inference import InferenceResult, TCrowdModel
 from repro.core.information_gain import InformationGainCalculator
 from repro.core.schema import TableSchema
 from repro.core.structure_gain import StructureAwareGainCalculator
+from repro.engine.state import SessionState
 from repro.utils.exceptions import AssignmentError
+from repro.utils.rng import as_generator
 
 Cell = Tuple[int, int]
+
+
+def refit_model(
+    model,
+    schema: TableSchema,
+    answers: AnswerSet,
+    previous: Optional[InferenceResult] = None,
+    warm_start: bool = True,
+) -> InferenceResult:
+    """Run truth inference, warm-starting from ``previous`` when supported.
+
+    Shared by every refitting policy so the warm-start contract (capability
+    check + ``init=`` keyword) lives in one place.
+    """
+    init = (
+        previous
+        if warm_start and getattr(model, "supports_warm_start", False)
+        else None
+    )
+    if init is not None:
+        return model.fit(schema, answers, init=init)
+    return model.fit(schema, answers)
+
+
+def top_k_stable(gains: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest gains, ties broken by ascending index.
+
+    Matches ``sorted(gains.items(), key=value, reverse=True)[:k]`` over a
+    row-major candidate list (Python's sort is stable and does not reorder
+    equal elements under ``reverse=True``).  For large pools an
+    ``argpartition`` pre-selects the top values so only the short head is
+    fully sorted.
+    """
+    n = len(gains)
+    if k >= n:
+        return np.argsort(-gains, kind="stable")
+    partition = np.argpartition(-gains, k - 1)
+    threshold = gains[partition[k - 1]]
+    head = np.flatnonzero(gains >= threshold)
+    return head[np.argsort(-gains[head], kind="stable")][:k]
 
 
 @dataclass(frozen=True)
@@ -48,23 +110,47 @@ class AssignmentPolicy(abc.ABC):
     filtering: a worker is never assigned a cell they already answered, and
     cells that already collected ``max_answers_per_cell`` answers are
     excluded (the budget mechanism used by the end-to-end experiments).
+
+    ``incremental=True`` (default) backs the filtering with a
+    :class:`~repro.engine.SessionState` kept in sync with the answer set —
+    O(new answers) per call instead of a full table rescan; ``False``
+    restores the seed implementation's from-scratch scan.
     """
 
     def __init__(
         self,
         schema: TableSchema,
         max_answers_per_cell: Optional[int] = None,
+        incremental: bool = True,
     ) -> None:
         self.schema = schema
         self.max_answers_per_cell = max_answers_per_cell
+        self.incremental = bool(incremental)
+        self._state: Optional[SessionState] = None
 
     @property
     def name(self) -> str:
         """Human-readable policy name (used by the experiment harnesses)."""
         return type(self).__name__
 
+    def session_state(self, answers: AnswerSet) -> Optional[SessionState]:
+        """The policy's incremental session state, synced to ``answers``.
+
+        Returns ``None`` for policies running with ``incremental=False``.
+        """
+        if not self.incremental:
+            return None
+        if self._state is None:
+            self._state = SessionState(
+                self.schema, max_answers_per_cell=self.max_answers_per_cell
+            )
+        return self._state.sync(answers)
+
     def candidate_cells(self, worker: str, answers: AnswerSet) -> List[Cell]:
-        """Cells this worker may still be assigned."""
+        """Cells this worker may still be assigned (row-major order)."""
+        state = self.session_state(answers)
+        if state is not None:
+            return state.candidate_cells(worker)
         counts = answers.answer_counts()
         candidates: List[Cell] = []
         for i in range(self.schema.num_rows):
@@ -108,6 +194,19 @@ class TCrowdAssigner(AssignmentPolicy):
         Forwarded to :class:`InformationGainCalculator` (0 = closed form).
     max_answers_per_cell:
         Budget cap per cell (see :class:`AssignmentPolicy`).
+    seed:
+        Seed for the Monte-Carlo gain estimator; defaults to the model's
+        generator so one reproducible stream is shared by every calculator
+        this assigner builds.
+    warm_start:
+        Warm-start each refit from the previous inference result (converges
+        to the cold-start fixed point within the EM tolerance).  ``False``
+        restores the seed implementation's cold start.
+    vectorized:
+        Score all candidates through :meth:`InformationGainCalculator.gains_batch`
+        with stable top-K selection instead of the per-cell scalar loop.
+    incremental:
+        See :class:`AssignmentPolicy`.
     """
 
     def __init__(
@@ -120,8 +219,15 @@ class TCrowdAssigner(AssignmentPolicy):
         max_answers_per_cell: Optional[int] = None,
         min_pairs: int = 5,
         seed=None,
+        warm_start: bool = True,
+        vectorized: bool = True,
+        incremental: bool = True,
     ) -> None:
-        super().__init__(schema, max_answers_per_cell=max_answers_per_cell)
+        super().__init__(
+            schema,
+            max_answers_per_cell=max_answers_per_cell,
+            incremental=incremental,
+        )
         if refit_every < 1:
             raise AssignmentError(f"refit_every must be >= 1, got {refit_every}")
         self.model = model or TCrowdModel()
@@ -130,6 +236,11 @@ class TCrowdAssigner(AssignmentPolicy):
         self.continuous_samples = int(continuous_samples)
         self.min_pairs = int(min_pairs)
         self.seed = seed
+        self.warm_start = bool(warm_start)
+        self.vectorized = bool(vectorized)
+        self._rng = as_generator(
+            seed if seed is not None else getattr(self.model, "rng", None)
+        )
         self._result: Optional[InferenceResult] = None
         self._answers_at_last_fit = -1
 
@@ -153,12 +264,18 @@ class TCrowdAssigner(AssignmentPolicy):
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
         result = self._ensure_result(answers)
         calculator = self._build_calculator(result, answers)
-        gains = {
-            cell: calculator.gain(worker, cell[0], cell[1]) for cell in candidates
-        }
-        ranked = sorted(gains.items(), key=lambda item: item[1], reverse=True)[:k]
-        cells = tuple(cell for cell, _gain in ranked)
-        values = tuple(gain for _cell, gain in ranked)
+        if self.vectorized:
+            batch_gains = calculator.gains_batch(worker, candidates)
+            order = top_k_stable(batch_gains, k)
+            cells = tuple(candidates[index] for index in order)
+            values = tuple(float(batch_gains[index]) for index in order)
+        else:
+            gains = {
+                cell: calculator.gain(worker, cell[0], cell[1]) for cell in candidates
+            }
+            ranked = sorted(gains.items(), key=lambda item: item[1], reverse=True)[:k]
+            cells = tuple(cell for cell, _gain in ranked)
+            values = tuple(gain for _cell, gain in ranked)
         return BatchAssignment(worker, cells, values)
 
     def observe(self, answers: AnswerSet) -> None:
@@ -178,7 +295,10 @@ class TCrowdAssigner(AssignmentPolicy):
             or len(answers) - self._answers_at_last_fit >= self.refit_every
         )
         if stale:
-            self._result = self.model.fit(self.schema, answers)
+            self._result = refit_model(
+                self.model, self.schema, answers,
+                previous=self._result, warm_start=self.warm_start,
+            )
             self._answers_at_last_fit = len(answers)
         return self._result
 
@@ -189,8 +309,8 @@ class TCrowdAssigner(AssignmentPolicy):
                 answers,
                 continuous_samples=self.continuous_samples,
                 min_pairs=self.min_pairs,
-                seed=self.seed,
+                seed=self._rng,
             )
         return InformationGainCalculator(
-            result, continuous_samples=self.continuous_samples, seed=self.seed
+            result, continuous_samples=self.continuous_samples, seed=self._rng
         )

@@ -71,14 +71,17 @@ class GaussianError:
         return self.variance + self.mean**2
 
 
-def answer_error(answer: Answer, result: InferenceResult) -> float:
+def answer_error(answer: Answer, result: InferenceResult, estimate=None) -> float:
     """Error of one answer against the estimated truth.
 
     Continuous columns: ``a - T^hat``.  Categorical columns: 0 if the answer
-    matches the estimated truth, 1 otherwise.
+    matches the estimated truth, 1 otherwise.  ``estimate`` short-circuits
+    the posterior lookup when the caller already resolved ``T^hat`` for the
+    cell (the correlation fit resolves it once per cell, not per answer).
     """
     column = result.schema.columns[answer.col]
-    estimate = result.estimate(answer.row, answer.col)
+    if estimate is None:
+        estimate = result.estimate(answer.row, answer.col)
     if column.is_categorical:
         return 0.0 if answer.value == estimate else 1.0
     return float(answer.value) - float(estimate)
@@ -113,7 +116,7 @@ class _PairStats:
             self.var_j = safe_var(ej)
             self.var_k = safe_var(ek)
             if len(ej) > 1:
-                cov = float(np.cov(ej, ek, bias=True)[0, 1])
+                cov = float(np.mean(ej * ek)) - self.mean_j * self.mean_k
             else:
                 cov = 0.0
             limit = 0.999 * np.sqrt(self.var_j * self.var_k)
@@ -210,8 +213,17 @@ class AttributeCorrelationModel:
         schema = answers.schema
         errors_by_cell: Dict[Tuple[str, int, int], float] = {}
         errors_by_col: Dict[int, List[float]] = {j: [] for j in range(schema.num_columns)}
+        # The estimated truth is shared by every answer of a cell: resolve it
+        # once per cell, not once per answer (the fit runs on every refit of
+        # the online loop).
+        estimates: Dict[Tuple[int, int], object] = {}
         for answer in answers:
-            error = answer_error(answer, result)
+            key = (answer.row, answer.col)
+            estimate = estimates.get(key)
+            if estimate is None:
+                estimate = result.estimate(answer.row, answer.col)
+                estimates[key] = estimate
+            error = answer_error(answer, result, estimate=estimate)
             errors_by_cell[(answer.worker, answer.row, answer.col)] = error
             errors_by_col[answer.col].append(error)
 
@@ -321,8 +333,11 @@ def _pearson(x: np.ndarray, y: np.ndarray) -> float:
     """Pearson correlation coefficient (Eq. 8), 0 for degenerate vectors."""
     if len(x) < 2:
         return 0.0
+    mean_x = float(np.mean(x))
+    mean_y = float(np.mean(y))
     std_x = float(np.std(x))
     std_y = float(np.std(y))
     if std_x < 1e-12 or std_y < 1e-12:
         return 0.0
-    return float(np.corrcoef(x, y)[0, 1])
+    cov = float(np.mean(x * y)) - mean_x * mean_y
+    return float(np.clip(cov / (std_x * std_y), -1.0, 1.0))

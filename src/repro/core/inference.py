@@ -33,17 +33,19 @@ import numpy as np
 from scipy import optimize
 
 from repro.core.answers import AnswerSet, IndexedAnswers
-from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
+from repro.core.posteriors import CategoricalPosterior, GaussianPosterior, Posterior
 from repro.core.schema import TableSchema
 from repro.core.worker_model import WorkerModel
 from repro.utils.exceptions import InferenceError
 from repro.utils.numerics import normalize_log_probs, safe_erf
+from repro.utils.rng import as_generator
 from repro.utils.validation import require_positive
 
 #: Clip range for worker qualities inside likelihood evaluations.
 _Q_FLOOR = 1e-9
 #: Lower bound of any variance handled by the optimiser.
-_VAR_FLOOR = 1e-8
+VARIANCE_FLOOR = 1e-8
+_VAR_FLOOR = VARIANCE_FLOOR
 
 
 @dataclass
@@ -63,7 +65,7 @@ class InferenceResult:
     phi: np.ndarray
     column_scale: np.ndarray
     column_offset: np.ndarray
-    posteriors: Dict[Tuple[int, int], object]
+    posteriors: Dict[Tuple[int, int], Posterior]
     objective_trace: List[float] = field(default_factory=list)
     n_iterations: int = 0
     converged: bool = False
@@ -73,7 +75,7 @@ class InferenceResult:
 
     # -- truth estimates ----------------------------------------------------
 
-    def posterior(self, row: int, col: int):
+    def posterior(self, row: int, col: int) -> Posterior:
         """Truth posterior of cell ``(row, col)``; prior-based if unanswered."""
         key = (row, col)
         if key in self.posteriors:
@@ -124,10 +126,14 @@ class InferenceResult:
         variance = self.standardized_answer_variance(worker, row, col)
         return float(self.worker_model.quality_from_variance(variance))
 
+    def phi_for(self, worker: str) -> float:
+        """Inherent variance ``phi_u``; the crowd median for unseen workers."""
+        u = self._worker_index.get(worker)
+        return float(self.phi[u]) if u is not None else float(np.median(self.phi))
+
     def standardized_answer_variance(self, worker: str, row: int, col: int) -> float:
         """Answer variance ``alpha_i beta_j phi_u`` in the standardised scale."""
-        u = self._worker_index.get(worker)
-        phi = float(self.phi[u]) if u is not None else float(np.median(self.phi))
+        phi = self.phi_for(worker)
         return max(float(self.alpha[row] * self.beta[col] * phi), _VAR_FLOOR)
 
     def answer_variance(self, worker: str, row: int, col: int) -> float:
@@ -185,10 +191,10 @@ class _Workspace:
         self.cat_labels = indexed.label_indices[cat]
         # Cell bookkeeping: continuous cells.
         self.cont_cells, self.cont_cell_of_answer = self._group_cells(
-            self.cont_rows, self.cont_cols
+            self.cont_rows, self.cont_cols, num_cols
         )
         self.cat_cells, self.cat_cell_of_answer = self._group_cells(
-            self.cat_rows, self.cat_cols
+            self.cat_rows, self.cat_cols, num_cols
         )
         self.cat_label_counts = np.array(
             [schema.columns[c].num_labels for (_r, c) in self.cat_cells], dtype=int
@@ -207,20 +213,18 @@ class _Workspace:
         )
 
     @staticmethod
-    def _group_cells(rows: np.ndarray, cols: np.ndarray):
-        """Assign a dense id to each distinct ``(row, col)`` pair."""
-        cells: List[Tuple[int, int]] = []
-        cell_index: Dict[Tuple[int, int], int] = {}
-        cell_of_answer = np.empty(len(rows), dtype=np.int64)
-        for idx, (row, col) in enumerate(zip(rows, cols)):
-            key = (int(row), int(col))
-            cell_id = cell_index.get(key)
-            if cell_id is None:
-                cell_id = len(cells)
-                cell_index[key] = cell_id
-                cells.append(key)
-            cell_of_answer[idx] = cell_id
-        return cells, cell_of_answer
+    def _group_cells(rows: np.ndarray, cols: np.ndarray, num_cols: int):
+        """Assign a dense id to each distinct ``(row, col)`` pair.
+
+        Cell ids are dense in row-major order; grouping is a single
+        ``np.unique`` pass instead of a per-answer Python loop.
+        """
+        keys = rows * np.int64(num_cols) + cols
+        unique_keys, cell_of_answer = np.unique(keys, return_inverse=True)
+        cells: List[Tuple[int, int]] = [
+            (int(key // num_cols), int(key % num_cols)) for key in unique_keys
+        ]
+        return cells, cell_of_answer.astype(np.int64)
 
 
 class TCrowdModel:
@@ -276,11 +280,30 @@ class TCrowdModel:
         self.use_difficulty = bool(use_difficulty)
         self.standardize_continuous = bool(standardize_continuous)
         self.seed = seed
+        self.rng = as_generator(seed)
+
+    #: Advertises the ``init=`` keyword of :meth:`fit` to the assigners.
+    supports_warm_start = True
 
     # -- public API ----------------------------------------------------------
 
-    def fit(self, schema: TableSchema, answers: AnswerSet) -> InferenceResult:
-        """Run EM truth inference over ``answers`` and return the result."""
+    def fit(
+        self,
+        schema: TableSchema,
+        answers: AnswerSet,
+        init: Optional[InferenceResult] = None,
+    ) -> InferenceResult:
+        """Run EM truth inference over ``answers`` and return the result.
+
+        ``init`` warm-starts the EM loop from a previous
+        :class:`InferenceResult` (typically the fit over a slightly smaller
+        answer set in the online loop of Algorithm 2): the prior
+        ``log alpha / log beta / log phi`` replace the zero initialisation,
+        with workers unseen by ``init`` starting at the median ``log phi``.
+        EM still iterates to the usual convergence criterion, so the result
+        matches a cold start up to the optimiser tolerance — only the number
+        of iterations (the dominant online cost) shrinks.
+        """
         if len(answers) == 0:
             raise InferenceError("Cannot run truth inference on an empty answer set")
         indexed = answers.indexed()
@@ -289,9 +312,9 @@ class TCrowdModel:
         num_cols = schema.num_columns
         num_workers = indexed.num_workers
 
-        log_alpha = np.zeros(num_rows)
-        log_beta = np.zeros(num_cols)
-        log_phi = np.zeros(num_workers)
+        log_alpha, log_beta, log_phi = self._initial_parameters(
+            init, schema, indexed
+        )
 
         objective_trace: List[float] = []
         converged = False
@@ -327,6 +350,39 @@ class TCrowdModel:
             converged=converged,
         )
 
+    # -- initialisation --------------------------------------------------------
+
+    def _initial_parameters(
+        self,
+        init: Optional[InferenceResult],
+        schema: TableSchema,
+        indexed: IndexedAnswers,
+    ):
+        """Zero (cold) or warm-start parameters in log space."""
+        num_rows = schema.num_rows
+        num_cols = schema.num_columns
+        num_workers = indexed.num_workers
+        log_alpha = np.zeros(num_rows)
+        log_beta = np.zeros(num_cols)
+        log_phi = np.zeros(num_workers)
+        if init is None:
+            return log_alpha, log_beta, log_phi
+        if len(init.alpha) == num_rows and len(init.beta) == num_cols:
+            log_alpha = np.log(np.maximum(init.alpha, _VAR_FLOOR))
+            log_beta = np.log(np.maximum(init.beta, _VAR_FLOOR))
+        prior_log_phi = np.log(np.maximum(init.phi, _VAR_FLOOR))
+        log_phi.fill(float(np.median(prior_log_phi)))
+        for u, worker in enumerate(indexed.worker_ids):
+            prior_u = init._worker_index.get(worker)
+            if prior_u is not None:
+                log_phi[u] = prior_log_phi[prior_u]
+        # Stay inside the L-BFGS box of the M-step.
+        return (
+            np.clip(log_alpha, -10.0, 10.0),
+            np.clip(log_beta, -10.0, 10.0),
+            np.clip(log_phi, -10.0, 10.0),
+        )
+
     # -- E-step ---------------------------------------------------------------
 
     def _answer_variances(self, ws, log_alpha, log_beta, log_phi, rows, cols, workers):
@@ -343,10 +399,15 @@ class TCrowdModel:
                 ws.cont_rows, ws.cont_cols, ws.cont_workers,
             )
             weights = 1.0 / variances
-            sum_w = np.zeros(len(ws.cont_cells))
-            sum_wa = np.zeros(len(ws.cont_cells))
-            np.add.at(sum_w, ws.cont_cell_of_answer, weights)
-            np.add.at(sum_wa, ws.cont_cell_of_answer, weights * ws.cont_values)
+            num_cells = len(ws.cont_cells)
+            sum_w = np.bincount(
+                ws.cont_cell_of_answer, weights=weights, minlength=num_cells
+            )
+            sum_wa = np.bincount(
+                ws.cont_cell_of_answer,
+                weights=weights * ws.cont_values,
+                minlength=num_cells,
+            )
             prior_precision = 1.0 / ws.prior_variance
             post_precision = sum_w + prior_precision
             ws.cont_post_var = 1.0 / post_precision
@@ -367,14 +428,15 @@ class TCrowdModel:
             label_counts = ws.cat_label_counts[ws.cat_cell_of_answer]
             log_correct = np.log(quality)
             log_wrong = np.log((1.0 - quality) / np.maximum(label_counts - 1, 1))
-            base = np.zeros(len(ws.cat_cells))
-            np.add.at(base, ws.cat_cell_of_answer, log_wrong)
-            delta = np.zeros((len(ws.cat_cells), ws.max_labels))
-            np.add.at(
-                delta,
-                (ws.cat_cell_of_answer, ws.cat_labels),
-                log_correct - log_wrong,
+            num_cells = len(ws.cat_cells)
+            base = np.bincount(
+                ws.cat_cell_of_answer, weights=log_wrong, minlength=num_cells
             )
+            delta = np.bincount(
+                ws.cat_cell_of_answer * ws.max_labels + ws.cat_labels,
+                weights=log_correct - log_wrong,
+                minlength=num_cells * ws.max_labels,
+            ).reshape(num_cells, ws.max_labels)
             log_post = base[:, None] + delta
             # Mask out label slots beyond each cell's label-set size.
             label_grid = np.arange(ws.max_labels)[None, :]
@@ -429,9 +491,15 @@ class TCrowdModel:
             )
             dq_dv = -0.5 / variances + residual_sq / (2.0 * variances**2)
             contribution = dq_dv * variances  # d/d(log-parameter)
-            np.add.at(grad_alpha, ws.cont_rows, contribution)
-            np.add.at(grad_beta, ws.cont_cols, contribution)
-            np.add.at(grad_phi, ws.cont_workers, contribution)
+            grad_alpha += np.bincount(
+                ws.cont_rows, weights=contribution, minlength=num_rows
+            )
+            grad_beta += np.bincount(
+                ws.cont_cols, weights=contribution, minlength=num_cols
+            )
+            grad_phi += np.bincount(
+                ws.cont_workers, weights=contribution, minlength=num_workers
+            )
 
         # Categorical answers.
         if len(ws.cat_cells):
@@ -453,9 +521,15 @@ class TCrowdModel:
             dq_dv = -(u_arg / (variances * np.sqrt(np.pi))) * np.exp(-u_arg**2)
             dobj_dq = p_correct / quality - (1.0 - p_correct) / (1.0 - quality)
             contribution = dobj_dq * dq_dv * variances
-            np.add.at(grad_alpha, ws.cat_rows, contribution)
-            np.add.at(grad_beta, ws.cat_cols, contribution)
-            np.add.at(grad_phi, ws.cat_workers, contribution)
+            grad_alpha += np.bincount(
+                ws.cat_rows, weights=contribution, minlength=num_rows
+            )
+            grad_beta += np.bincount(
+                ws.cat_cols, weights=contribution, minlength=num_cols
+            )
+            grad_phi += np.bincount(
+                ws.cat_workers, weights=contribution, minlength=num_workers
+            )
 
         # Quadratic priors on the log-parameters (keep them anchored).
         reg_ab = self.difficulty_regularization
@@ -506,9 +580,9 @@ class TCrowdModel:
 
     # -- result assembly -------------------------------------------------------
 
-    def _build_posteriors(self, ws: _Workspace) -> Dict[Tuple[int, int], object]:
+    def _build_posteriors(self, ws: _Workspace) -> Dict[Tuple[int, int], Posterior]:
         """Convert E-step outputs to posterior objects in the original scale."""
-        posteriors: Dict[Tuple[int, int], object] = {}
+        posteriors: Dict[Tuple[int, int], Posterior] = {}
         for cell_id, (row, col) in enumerate(ws.cont_cells):
             scale = float(ws.scale[col])
             offset = float(ws.offset[col])

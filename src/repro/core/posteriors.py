@@ -15,11 +15,35 @@ the information-gain calculator hypothesises one extra answer (Section 5.1,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.numerics import normalize_log_probs, safe_log
+
+
+@runtime_checkable
+class Posterior(Protocol):
+    """Structural interface shared by every truth-posterior family.
+
+    Both families (and any future one, e.g. ordinal cells) expose a point
+    estimate ``T^hat_ij`` and an entropy ``H(T_ij)``; truth inference and the
+    information-gain calculators depend only on this protocol.
+    """
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for discrete-label posteriors, False for continuous ones."""
+        ...
+
+    def point_estimate(self):
+        """The estimated truth ``T^hat_ij``."""
+        ...
+
+    def entropy(self) -> float:
+        """Uniform entropy ``H(T_ij)`` (Shannon or differential)."""
+        ...
 
 
 @dataclass(frozen=True)

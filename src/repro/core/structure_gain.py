@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.core.answers import AnswerSet
 from repro.core.correlation import (
     AttributeCorrelationModel,
@@ -76,6 +78,49 @@ class StructureAwareGainCalculator:
     def gains_for_worker(self, worker: str, candidates) -> Dict[tuple, float]:
         """Structure-aware gain for every candidate cell."""
         return {cell: self.gain(worker, cell[0], cell[1]) for cell in candidates}
+
+    def gains_batch(self, worker: str, cells) -> np.ndarray:
+        """Structure-aware gain for many candidate cells in one pass.
+
+        The worker's observed errors are computed once per row (instead of
+        once per candidate) and the per-cell quality/variance predictions are
+        handed to :meth:`InformationGainCalculator.gains_batch` as override
+        arrays; cells without structural evidence keep ``NaN`` overrides and
+        fall back to the inherent gain, as in :meth:`gain`.
+        """
+        cells = list(cells)
+        quality_overrides = np.full(len(cells), np.nan)
+        variance_overrides = np.full(len(cells), np.nan)
+        worker_rows: Dict[int, list] = {}
+        for answer in self.answers.answers_by_worker(worker):
+            worker_rows.setdefault(answer.row, []).append(answer)
+        errors_by_row: Dict[int, Dict[int, float]] = {}
+        columns = self.result.schema.columns
+        for idx, (row, col) in enumerate(cells):
+            row_answers = worker_rows.get(row)
+            if not row_answers:
+                continue
+            errors = errors_by_row.get(row)
+            if errors is None:
+                errors = {
+                    answer.col: answer_error(answer, self.result)
+                    for answer in row_answers
+                }
+                errors_by_row[row] = errors
+            observed = {c: e for c, e in errors.items() if c != col}
+            if not observed:
+                continue
+            predicted = self.correlation.predict_error(col, observed)
+            if columns[col].is_categorical:
+                quality_overrides[idx] = predicted.quality()
+            else:
+                variance_overrides[idx] = max(predicted.second_moment(), 1e-9)
+        return self._inherent.gains_batch(
+            worker,
+            cells,
+            quality_overrides=quality_overrides,
+            variance_overrides=variance_overrides,
+        )
 
     # -- internals ------------------------------------------------------------
 

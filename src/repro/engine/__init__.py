@@ -1,0 +1,18 @@
+"""Incremental assignment engine.
+
+The online protocol of Algorithm 2 interleaves truth inference and
+information-gain assignment after *every* collected answer.  Re-deriving the
+full candidate pool, worker indexes and answer counts from scratch on each
+step is O(rows x cols x answers); this package maintains them as mutable
+indexes updated O(1) per new answer so that the per-step cost of the online
+loop is driven by the (warm-started) EM refit and one vectorised gain pass.
+
+Layering: ``core`` holds the paper's algorithms, ``engine`` holds the
+incremental session state those algorithms consult in the online loop, and
+``platform`` / ``experiments`` drive both.  Future scaling work (sharding the
+candidate pool, async refits, multi-backend state) plugs in here.
+"""
+
+from repro.engine.state import SessionState
+
+__all__ = ["SessionState"]

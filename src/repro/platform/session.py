@@ -200,6 +200,13 @@ class CrowdsourcingSession:
         consecutive_failures = 0
         failure_limit = 10 * len(self.dataset.worker_pool)
         while not budget.exhausted:
+            # The engine's incremental state knows when every cell reached its
+            # answer cap; stop immediately instead of drawing workers until
+            # the consecutive-failure limit trips (the recorded trace is
+            # identical either way — no further answer could be collected).
+            state = self.policy.session_state(answers)
+            if state is not None and not state.has_open_cells():
+                break
             if self.max_steps is not None and steps >= self.max_steps:
                 break
             steps += 1
