@@ -1,0 +1,122 @@
+"""CI perf-regression gate over the engine benchmark.
+
+Compares a fresh ``benchmarks/run_bench.py --smoke`` result against the
+committed full-size baseline (``BENCH_engine.json``) and fails the build
+when either
+
+* an equivalence bit flipped — ``identical_assignments`` (exact engine path
+  vs seed path) or ``identical_assignments_sharded`` (partitioned top-K vs
+  seed path) is false, which is a correctness regression, never noise; or
+* the engine-path speedup of the smoke run dropped below a floor derived
+  from the committed baseline: ``floor = baseline_speedup * headroom``.
+  The headroom (default 0.35) absorbs two effects at once — the smoke
+  scenario is far smaller than the baseline scenario (EM dominates, so the
+  candidate-scan savings shrink: ~1.7x smoke vs ~3.4x full on the reference
+  machine) and shared CI runners jitter.  An engine path that regressed to
+  the seed path's speed (speedup ~1.0) still trips the floor.
+
+Usage::
+
+    python scripts/check_perf_regression.py \
+        --baseline BENCH_engine.json --candidate /tmp/BENCH_engine_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read benchmark JSON {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_engine.json"),
+        help="committed full-size baseline (provides the speedup floor)",
+    )
+    parser.add_argument(
+        "--candidate",
+        type=pathlib.Path,
+        required=True,
+        help="freshly produced smoke JSON to check",
+    )
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=0.35,
+        help="fraction of the baseline speedup the candidate must reach "
+        "(absorbs smoke-vs-full scale and runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    failures = []
+
+    if baseline.get("smoke"):
+        failures.append(
+            f"baseline {args.baseline} is a smoke run; commit a full "
+            "`python benchmarks/run_bench.py` result as the baseline"
+        )
+
+    if not candidate.get("identical_assignments", False):
+        failures.append(
+            "identical_assignments is false: the exact engine path no longer "
+            "replays the seed path's assignment sequence"
+        )
+    if "identical_assignments_sharded" not in candidate:
+        failures.append(
+            "candidate has no identical_assignments_sharded field: the smoke "
+            "run must include the sharded path (run_bench.py --shards >= 2)"
+        )
+    elif not candidate["identical_assignments_sharded"]:
+        failures.append(
+            "identical_assignments_sharded is false: the partitioned top-K "
+            "merge no longer replays the seed path's assignment sequence"
+        )
+
+    floors = {}
+    for field in ("speedup", "speedup_sharded"):
+        if field not in baseline and field != "speedup":
+            continue  # older baselines predate the sharded path
+        baseline_speedup = float(baseline.get(field, 0.0))
+        candidate_speedup = float(candidate.get(field, 0.0))
+        floor = max(baseline_speedup * args.headroom, 1.0)
+        floors[field] = (baseline_speedup, candidate_speedup, floor)
+        if candidate_speedup < floor:
+            failures.append(
+                f"{field} {candidate_speedup:.2f}x fell below the floor "
+                f"{floor:.2f}x (baseline {baseline_speedup:.2f}x * "
+                f"headroom {args.headroom})"
+            )
+
+    for field, (base, cand, floor) in floors.items():
+        print(
+            f"{field}: baseline {base:.2f}x -> floor {floor:.2f}x, "
+            f"candidate {cand:.2f}x"
+        )
+    print(
+        f"identical={candidate.get('identical_assignments')}, "
+        f"identical_sharded={candidate.get('identical_assignments_sharded')}"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ inverse difficulties.  Categorical columns only.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 from scipy import optimize

@@ -29,8 +29,10 @@ the only path the equivalence benchmark exercises) is unaffected.
 from __future__ import annotations
 
 import abc
+import heapq
+import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,6 +86,34 @@ def top_k_stable(gains: np.ndarray, k: int) -> np.ndarray:
     threshold = gains[partition[k - 1]]
     head = np.flatnonzero(gains >= threshold)
     return head[np.argsort(-gains[head], kind="stable")][:k]
+
+
+def merge_top_k_stable(parts: Sequence[np.ndarray], k: int) -> np.ndarray:
+    """Global stable top-``k`` over the virtual concatenation of ``parts``.
+
+    Each part is a gains array over a contiguous block of the global
+    candidate list (the sharded engine scores one block per shard).  The
+    global winners are found without materialising the concatenation: every
+    global top-``k`` element must sit in its own part's stable top-``k``
+    (anything a part drops is tied-or-worse *and* later in index order than
+    ``k`` elements of that same part), so a heap merge of the per-part heads
+    by ``(-gain, global index)`` reproduces :func:`top_k_stable` over
+    ``np.concatenate(parts)`` bit for bit.
+    """
+    heads = []
+    offset = 0
+    for gains in parts:
+        if len(gains):
+            local = top_k_stable(np.asarray(gains), k)
+            heads.append(
+                [(-float(gains[i]), offset + int(i)) for i in local]
+            )
+        offset += len(gains)
+    merged = heapq.merge(*heads)
+    return np.fromiter(
+        (index for _neg_gain, index in itertools.islice(merged, k)),
+        dtype=np.int64,
+    )
 
 
 @dataclass(frozen=True)
@@ -253,7 +283,24 @@ class TCrowdAssigner(AssignmentPolicy):
         """The most recent truth-inference result (None before the first fit)."""
         return self._result
 
+    @property
+    def answers_at_last_fit(self) -> int:
+        """Answer-set size at the most recent refit (-1 before the first)."""
+        return self._answers_at_last_fit
+
     # -- policy ---------------------------------------------------------------
+
+    def prepare_scoring(self, answers: AnswerSet):
+        """Refit if stale and return the gain calculator for ``answers``.
+
+        The one seam between the refit cadence and candidate scoring: both
+        :meth:`select` and the sharded wrapper
+        (:class:`~repro.engine.ShardedAssignmentPolicy`) go through it, so
+        the two paths cannot diverge on *when* they refit or *what* they
+        score with — the precondition for their bit-identical decisions.
+        """
+        result = self._ensure_result(answers)
+        return self._build_calculator(result, answers)
 
     def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
         """Assign the top-``k`` candidate cells by information gain."""
@@ -262,8 +309,7 @@ class TCrowdAssigner(AssignmentPolicy):
         candidates = self.candidate_cells(worker, answers)
         if not candidates:
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
-        result = self._ensure_result(answers)
-        calculator = self._build_calculator(result, answers)
+        calculator = self.prepare_scoring(answers)
         if self.vectorized:
             batch_gains = calculator.gains_batch(worker, candidates)
             order = top_k_stable(batch_gains, k)

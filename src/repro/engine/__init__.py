@@ -15,4 +15,17 @@ candidate pool, async refits, multi-backend state) plugs in here.
 
 from repro.engine.state import SessionState
 
-__all__ = ["SessionState"]
+__all__ = ["SessionState", "ShardedSessionState", "ShardedAssignmentPolicy"]
+
+_SHARDING_EXPORTS = ("ShardedSessionState", "ShardedAssignmentPolicy")
+
+
+def __getattr__(name):
+    # Lazy so that ``core.assignment → engine.state → engine.__init__`` does
+    # not re-enter ``core.assignment`` (sharding builds on the policy base
+    # classes) while it is still half-initialised.
+    if name in _SHARDING_EXPORTS:
+        from repro.engine import sharding
+
+        return getattr(sharding, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,261 @@
+"""Sharded session state and partitioned top-K assignment.
+
+The monolithic :class:`~repro.engine.state.SessionState` serves one candidate
+pool for the whole table.  For multi-worker serving the ROADMAP calls for
+partitioning that pool: :class:`ShardedSessionState` splits the rows into
+``K`` contiguous shards, each owning its slice of the answer counts, the
+per-worker answered masks and the open-candidate pool, with O(1) routing of
+every ingested answer to the owning shard (a precomputed row→shard table).
+
+:class:`ShardedAssignmentPolicy` runs the paper's top-K selection over that
+partition: each shard enumerates its candidates and scores them with one
+``gains_batch`` call (optionally from a thread pool), and the per-shard
+stable top-Ks are heap-merged by
+:func:`~repro.core.assignment.merge_top_k_stable` into the global stable
+top-K.  Because the shards are contiguous row ranges, the concatenation of
+the per-shard candidate lists *is* the monolithic row-major candidate list,
+so the sharded selection is bit-identical to
+:meth:`~repro.core.assignment.TCrowdAssigner.select` — the equivalence the
+benchmark records as ``identical_assignments_sharded`` and CI gates on.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.answers import Answer, AnswerSet
+from repro.core.assignment import (
+    AssignmentPolicy,
+    BatchAssignment,
+    TCrowdAssigner,
+    merge_top_k_stable,
+)
+from repro.core.schema import TableSchema
+from repro.engine.state import SessionState
+from repro.utils.exceptions import AssignmentError, ConfigurationError
+
+Cell = Tuple[int, int]
+
+
+class ShardedSessionState(SessionState):
+    """A :class:`SessionState` partitioned into contiguous row-range shards.
+
+    The global indexes (counts, worker masks, open pool) are the inherited
+    ones, so every :class:`SessionState` query keeps working unchanged; the
+    shards own *views* into them plus their own open-candidate accounting.
+    Routing an ingested answer to its shard is one table lookup — O(1) per
+    answer, exactly like the monolithic update it piggybacks on.
+
+    Parameters
+    ----------
+    schema:
+        Table schema the answers refer to.
+    num_shards:
+        Requested number of shards; clipped to the number of rows so every
+        shard owns at least one row.  The first ``num_rows % K`` shards get
+        one extra row when the rows do not divide evenly.
+    max_answers_per_cell:
+        Optional per-cell budget cap (see :class:`SessionState`).
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        num_shards: int = 2,
+        max_answers_per_cell: Optional[int] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        rows = schema.num_rows
+        self.num_shards = min(int(num_shards), max(rows, 1))
+        base, extra = divmod(rows, self.num_shards)
+        sizes = np.full(self.num_shards, base, dtype=np.int64)
+        sizes[:extra] += 1
+        self._shard_sizes = sizes
+        self._stops = np.cumsum(sizes)
+        self._starts = self._stops - sizes
+        self._row_shard = np.repeat(np.arange(self.num_shards), sizes)
+        super().__init__(schema, max_answers_per_cell=max_answers_per_cell)
+
+    def _reset(self) -> None:
+        super()._reset()
+        self._shard_open = self._shard_sizes * self.schema.num_columns
+
+    def ingest(self, answer: Answer) -> None:
+        """Fold one new answer in and charge its shard's open-pool (O(1))."""
+        was_open = self._open[answer.row, answer.col]
+        super().ingest(answer)
+        if was_open and not self._open[answer.row, answer.col]:
+            self._shard_open[self._row_shard[answer.row]] -= 1
+
+    # -- shard queries ------------------------------------------------------
+
+    def shard_of_row(self, row: int) -> int:
+        """Index of the shard owning ``row`` (the O(1) routing table)."""
+        return int(self._row_shard[row])
+
+    def shard_bounds(self, shard: int) -> Tuple[int, int]:
+        """Half-open ``[start, stop)`` row range owned by ``shard``."""
+        return int(self._starts[shard]), int(self._stops[shard])
+
+    def shard_open_count(self, shard: int) -> int:
+        """Number of open cells inside ``shard``."""
+        return int(self._shard_open[shard])
+
+    def shard_candidate_cells(self, shard: int, worker: str) -> List[Cell]:
+        """Cells of ``shard`` assignable to ``worker``, in row-major order.
+
+        Concatenating the results over all shards reproduces
+        :meth:`SessionState.candidate_cells` exactly — the property the
+        partitioned top-K merge relies on.
+        """
+        start, stop = self.shard_bounds(shard)
+        answered = self._answered.get(worker)
+        block = self._open[start:stop]
+        if answered is not None:
+            block = block & ~answered[start:stop]
+        flat = np.flatnonzero(block.ravel())
+        rows, cols = np.divmod(flat, self.schema.num_columns)
+        return list(zip((rows + start).tolist(), cols.tolist()))
+
+
+class ShardedAssignmentPolicy(AssignmentPolicy):
+    """Partitioned top-K wrapper around a :class:`TCrowdAssigner`.
+
+    Plugs in behind the same :meth:`AssignmentPolicy.session_state` seam the
+    platform loop already consults: the wrapper keeps a
+    :class:`ShardedSessionState` in sync with the answer set, delegates model
+    refits (and their warm-start bookkeeping) to the wrapped assigner, and
+    replaces the single global scoring pass with one ``gains_batch`` per
+    shard followed by a stable heap merge of the per-shard top-Ks.
+
+    Parameters
+    ----------
+    inner:
+        The assigner whose model, gain calculator and refit cadence are
+        reused.  Monte-Carlo gain estimation (``continuous_samples > 0``)
+        draws from an ordered sample stream and is rejected — the sharded
+        path supports the closed-form calculators (the default).
+    num_shards:
+        Number of contiguous row-range shards.
+    max_workers:
+        Optional thread-pool size for scoring shards concurrently; ``None``
+        or ``1`` scores them sequentially.  Either way the merged selection
+        is deterministic and bit-identical to the unsharded assigner.
+    """
+
+    def __init__(
+        self,
+        inner: TCrowdAssigner,
+        num_shards: int = 2,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            inner.schema,
+            max_answers_per_cell=inner.max_answers_per_cell,
+            incremental=True,
+        )
+        if inner.continuous_samples:
+            raise ConfigurationError(
+                "ShardedAssignmentPolicy requires the closed-form gain path "
+                "(continuous_samples=0); the Monte-Carlo estimator consumes "
+                "an ordered sample stream that sharding would reorder"
+            )
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        self.inner = inner
+        # Clip like ShardedSessionState does, so name / num_shards / pool
+        # size all describe the partition actually served.
+        self.num_shards = min(int(num_shards), max(inner.schema.num_rows, 1))
+        self.max_workers = None if max_workers is None else int(max_workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if self.max_workers is not None and self.max_workers > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.max_workers, self.num_shards),
+                thread_name_prefix="shard-score",
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name} [sharded x{self.num_shards}]"
+
+    @property
+    def last_result(self):
+        """The wrapped assigner's most recent truth-inference result."""
+        return self.inner.last_result
+
+    def close(self) -> None:
+        """Shut down the scoring thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedAssignmentPolicy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- state --------------------------------------------------------------
+
+    def session_state(self, answers: AnswerSet) -> ShardedSessionState:
+        """The sharded session state, synced to ``answers``."""
+        if self._state is None:
+            self._state = ShardedSessionState(
+                self.schema,
+                num_shards=self.num_shards,
+                max_answers_per_cell=self.max_answers_per_cell,
+            )
+        return self._state.sync(answers)
+
+    def candidate_cells(self, worker: str, answers: AnswerSet) -> List[Cell]:
+        """Global row-major candidate list (concatenation of the shards)."""
+        return self.session_state(answers).candidate_cells(worker)
+
+    # -- policy -------------------------------------------------------------
+
+    def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
+        """Assign the top-``k`` cells by gain, scored shard by shard."""
+        if k < 1:
+            raise AssignmentError(f"k must be >= 1, got {k}")
+        state = self.session_state(answers)
+        shard_cells = [
+            state.shard_candidate_cells(shard, worker)
+            for shard in range(state.num_shards)
+        ]
+        if not any(shard_cells):
+            raise AssignmentError(f"No candidate cells left for worker {worker!r}")
+        calculator = self.inner.prepare_scoring(answers)
+
+        def score(cells: List[Cell]) -> np.ndarray:
+            if not cells:
+                return np.zeros(0, dtype=float)
+            return calculator.gains_batch(worker, cells)
+
+        if self._executor is not None:
+            calculator.prewarm()
+            shard_gains = list(self._executor.map(score, shard_cells))
+        else:
+            shard_gains = [score(cells) for cells in shard_cells]
+        order = merge_top_k_stable(shard_gains, k)
+        # Map each merged global index back to its (shard, local) slot via
+        # the per-shard offsets — only the k winners are touched, the
+        # concatenated candidate list is never materialised.
+        offsets = np.cumsum([0] + [len(cells) for cells in shard_cells])
+        owners = np.searchsorted(offsets, order, side="right") - 1
+        cells = tuple(
+            shard_cells[shard][index - offsets[shard]]
+            for shard, index in zip(owners.tolist(), order.tolist())
+        )
+        values = tuple(
+            float(shard_gains[shard][index - offsets[shard]])
+            for shard, index in zip(owners.tolist(), order.tolist())
+        )
+        return BatchAssignment(worker, cells, values)
+
+    def observe(self, answers: AnswerSet) -> None:
+        """Forward the refit trigger to the wrapped assigner."""
+        self.inner.observe(answers)

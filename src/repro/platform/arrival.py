@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-import numpy as np
 
 from repro.datasets.workers import WorkerPool
 from repro.utils.rng import as_generator

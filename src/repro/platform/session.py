@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.answers import AnswerSet
-from repro.core.assignment import AssignmentPolicy
+from repro.core.assignment import AssignmentPolicy, TCrowdAssigner
 from repro.datasets.base import CrowdDataset
 from repro.metrics import error_rate, mnad
 from repro.platform.arrival import WorkerArrivalProcess
@@ -95,6 +95,15 @@ class CrowdsourcingSession:
         paper's AMT setting).
     eval_every_answers_per_task:
         Evaluation checkpoint spacing on the answers-per-task axis.
+    shards:
+        When > 1, serve the policy through a
+        :class:`~repro.engine.ShardedAssignmentPolicy` partitioned into this
+        many contiguous row-range shards (requires a
+        :class:`~repro.core.assignment.TCrowdAssigner`).  The recorded trace
+        is identical to the unsharded run — sharding only changes how the
+        candidate pool is stored and scored.
+    shard_workers:
+        Optional thread-pool size for concurrent per-shard scoring.
     """
 
     def __init__(
@@ -108,6 +117,8 @@ class CrowdsourcingSession:
         eval_every_answers_per_task: float = 0.5,
         seed=None,
         max_steps: Optional[int] = None,
+        shards: Optional[int] = None,
+        shard_workers: Optional[int] = None,
     ) -> None:
         if dataset.oracle is None or dataset.worker_pool is None:
             raise ConfigurationError(
@@ -118,6 +129,20 @@ class CrowdsourcingSession:
             raise ConfigurationError(
                 "target_answers_per_task must exceed initial_answers_per_task"
             )
+        if shards is not None and shards > 1:
+            from repro.engine import ShardedAssignmentPolicy
+
+            if not isinstance(policy, TCrowdAssigner):
+                raise ConfigurationError(
+                    "shards > 1 requires a TCrowdAssigner policy, got "
+                    f"{type(policy).__name__}"
+                )
+            policy = ShardedAssignmentPolicy(
+                policy, num_shards=shards, max_workers=shard_workers
+            )
+            self._owned_policy: Optional[ShardedAssignmentPolicy] = policy
+        else:
+            self._owned_policy = None
         self.dataset = dataset
         self.policy = policy
         self.inference = inference
@@ -179,6 +204,16 @@ class CrowdsourcingSession:
 
     def run(self) -> SessionTrace:
         """Run the session until the budget is exhausted; return the trace."""
+        try:
+            return self._run()
+        finally:
+            # The session owns the sharded wrapper it built: release its
+            # scoring thread pool (selects after close() score sequentially,
+            # so a re-run stays correct, just unpooled).
+            if self._owned_policy is not None:
+                self._owned_policy.close()
+
+    def _run(self) -> SessionTrace:
         schema = self.dataset.schema
         answers = self._seed_answers()
         extra_answers = int(

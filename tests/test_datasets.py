@@ -15,7 +15,7 @@ from repro.datasets import (
     load_emotion,
     load_restaurant,
 )
-from repro.datasets.synthetic import build_dataset, draw_difficulties
+from repro.datasets.synthetic import draw_difficulties
 from repro.datasets.workers import AnswerOracle
 from repro.utils.exceptions import ConfigurationError, DataError
 

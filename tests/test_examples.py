@@ -8,7 +8,6 @@ import importlib.util
 import pathlib
 import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 

@@ -5,7 +5,6 @@ a structurally valid report; the recorded full-scale results live in
 EXPERIMENTS.md.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -1,7 +1,6 @@
 """Integration tests spanning datasets, inference, assignment and metrics."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines import MajorityVoting, MedianAggregator

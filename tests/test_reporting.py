@@ -1,6 +1,5 @@
 """Tests for the experiment reporting helpers."""
 
-import pytest
 
 from repro.experiments.reporting import ExperimentReport, format_table
 
