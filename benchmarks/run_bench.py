@@ -19,9 +19,15 @@ Recorded fields (see also ``benchmarks/README.md``):
 
 * ``speedup`` / ``speedup_warm`` / ``speedup_sharded`` — seed-path seconds
   divided by the engine / warm-start / sharded path seconds.
-* ``identical_assignments`` / ``identical_assignments_sharded`` — the exact
-  engine path and the partitioned top-K path must replay the seed path's
-  assignment sequence bit for bit; both are hard failures here and in CI.
+* ``speedup_async`` (with ``--async-refit``) — *synchronous engine path*
+  seconds divided by the bounded-staleness async path's seconds: selects
+  serve background snapshots lock-free and warm refits stop early on the
+  EM objective, so this is the async win on top of the engine's.
+* ``identical_assignments`` / ``identical_assignments_sharded`` /
+  ``identical_assignments_async`` — the exact engine path, the partitioned
+  top-K path and the async path at ``max_stale_answers=0`` must replay the
+  seed path's assignment sequence bit for bit; all are hard failures here
+  and in CI.
 * ``warm_agreement`` — fraction of *steps* where the warm-start path took
   the very same decision as the seed path.  Warm starts perturb the EM
   trajectory, and most gain rankings are near-ties, so this number is small
@@ -69,6 +75,16 @@ def main(argv=None) -> int:
         "--shard-workers", type=int, default=0,
         help="scoring threads per select on the sharded path (0 = sequential)",
     )
+    parser.add_argument(
+        "--async-refit", action="store_true",
+        help="also time the async-refit path and record the "
+        "max_stale_answers=0 staleness-equivalence bit",
+    )
+    parser.add_argument(
+        "--max-stale", type=int, default=None,
+        help="staleness bound (answers) for the timed async path "
+        "(default: two HITs' worth)",
+    )
     parser.add_argument("--smoke", action="store_true",
                         help="tiny scenario for CI (not a baseline)")
     args = parser.parse_args(argv)
@@ -82,6 +98,8 @@ def main(argv=None) -> int:
         refit_every=args.refit_every,
         shards=args.shards if args.shards and args.shards > 1 else None,
         shard_workers=args.shard_workers or None,
+        async_refit=args.async_refit,
+        max_stale_answers=args.max_stale,
     )
     payload = {
         "benchmark": "engine_online_loop",
@@ -103,9 +121,23 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if not stats.get("identical_assignments_async", True):
+        print(
+            "FAIL: async path at max_stale_answers=0 diverged from the "
+            "seed path",
+            file=sys.stderr,
+        )
+        return 1
     if not args.smoke and stats["speedup"] < 3.0:
         print(
             f"FAIL: exact-path speedup {stats['speedup']:.2f}x below the 3x target",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.smoke and "speedup_async" in stats and stats["speedup_async"] < 1.2:
+        print(
+            f"FAIL: async-path speedup {stats['speedup_async']:.2f}x over the "
+            "synchronous engine path is below the 1.2x target",
             file=sys.stderr,
         )
         return 1

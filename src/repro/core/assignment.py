@@ -54,20 +54,28 @@ def refit_model(
     answers: AnswerSet,
     previous: Optional[InferenceResult] = None,
     warm_start: bool = True,
+    tol: Optional[float] = None,
 ) -> InferenceResult:
     """Run truth inference, warm-starting from ``previous`` when supported.
 
     Shared by every refitting policy so the warm-start contract (capability
-    check + ``init=`` keyword) lives in one place.
+    check + ``init=`` keyword) lives in one place.  ``tol`` requests
+    objective-based early stopping (see :meth:`TCrowdModel.fit`) and is
+    forwarded only to models that advertise ``supports_objective_tol`` —
+    baseline models with plain ``fit(schema, answers)`` signatures are
+    untouched.
     """
     init = (
         previous
         if warm_start and getattr(model, "supports_warm_start", False)
         else None
     )
+    kwargs = {}
+    if tol is not None and getattr(model, "supports_objective_tol", False):
+        kwargs["tol"] = tol
     if init is not None:
-        return model.fit(schema, answers, init=init)
-    return model.fit(schema, answers)
+        return model.fit(schema, answers, init=init, **kwargs)
+    return model.fit(schema, answers, **kwargs)
 
 
 def top_k_stable(gains: np.ndarray, k: int) -> np.ndarray:
@@ -232,6 +240,11 @@ class TCrowdAssigner(AssignmentPolicy):
         Warm-start each refit from the previous inference result (converges
         to the cold-start fixed point within the EM tolerance).  ``False``
         restores the seed implementation's cold start.
+    refit_tol:
+        Optional objective-based early-stopping tolerance forwarded to
+        warm-started refits (see :meth:`TCrowdModel.fit`).  ``None`` (the
+        default) keeps the model's fixed iteration budget, so the
+        equivalence benchmarks are unaffected.
     vectorized:
         Score all candidates through :meth:`InformationGainCalculator.gains_batch`
         with stable top-K selection instead of the per-cell scalar loop.
@@ -252,6 +265,7 @@ class TCrowdAssigner(AssignmentPolicy):
         warm_start: bool = True,
         vectorized: bool = True,
         incremental: bool = True,
+        refit_tol: Optional[float] = None,
     ) -> None:
         super().__init__(
             schema,
@@ -267,6 +281,7 @@ class TCrowdAssigner(AssignmentPolicy):
         self.min_pairs = int(min_pairs)
         self.seed = seed
         self.warm_start = bool(warm_start)
+        self.refit_tol = None if refit_tol is None else float(refit_tol)
         self.vectorized = bool(vectorized)
         self._rng = as_generator(
             seed if seed is not None else getattr(self.model, "rng", None)
@@ -293,11 +308,16 @@ class TCrowdAssigner(AssignmentPolicy):
     def prepare_scoring(self, answers: AnswerSet):
         """Refit if stale and return the gain calculator for ``answers``.
 
-        The one seam between the refit cadence and candidate scoring: both
-        :meth:`select` and the sharded wrapper
-        (:class:`~repro.engine.ShardedAssignmentPolicy`) go through it, so
-        the two paths cannot diverge on *when* they refit or *what* they
-        score with — the precondition for their bit-identical decisions.
+        Convenience composition of the two real seams —
+        :meth:`_ensure_result` (the refit cadence) and
+        :meth:`_build_calculator` (what scores are computed with).  Every
+        serving mode goes through those two: the vectorized :meth:`select`
+        calls them via :meth:`rank_candidates`, the scalar path and the
+        sharded wrapper (:class:`~repro.engine.ShardedAssignmentPolicy`)
+        call this method, and the async policy substitutes a snapshot
+        result into the same :meth:`rank_candidates`.  None of the paths
+        can diverge on *when* they refit or *what* they score with — the
+        precondition for their bit-identical decisions.
         """
         result = self._ensure_result(answers)
         return self._build_calculator(result, answers)
@@ -309,19 +329,39 @@ class TCrowdAssigner(AssignmentPolicy):
         candidates = self.candidate_cells(worker, answers)
         if not candidates:
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
-        calculator = self.prepare_scoring(answers)
         if self.vectorized:
-            batch_gains = calculator.gains_batch(worker, candidates)
-            order = top_k_stable(batch_gains, k)
-            cells = tuple(candidates[index] for index in order)
-            values = tuple(float(batch_gains[index]) for index in order)
-        else:
-            gains = {
-                cell: calculator.gain(worker, cell[0], cell[1]) for cell in candidates
-            }
-            ranked = sorted(gains.items(), key=lambda item: item[1], reverse=True)[:k]
-            cells = tuple(cell for cell, _gain in ranked)
-            values = tuple(gain for _cell, gain in ranked)
+            result = self._ensure_result(answers)
+            return self.rank_candidates(result, worker, answers, candidates, k)
+        calculator = self.prepare_scoring(answers)
+        gains = {
+            cell: calculator.gain(worker, cell[0], cell[1]) for cell in candidates
+        }
+        ranked = sorted(gains.items(), key=lambda item: item[1], reverse=True)[:k]
+        cells = tuple(cell for cell, _gain in ranked)
+        values = tuple(gain for _cell, gain in ranked)
+        return BatchAssignment(worker, cells, values)
+
+    def rank_candidates(
+        self,
+        result: InferenceResult,
+        worker: str,
+        answers: AnswerSet,
+        candidates: List[Cell],
+        k: int,
+    ) -> BatchAssignment:
+        """Vectorised stable top-``k`` over ``candidates`` scored with ``result``.
+
+        The one scoring block shared by every serving mode that brings its
+        own inference result — :meth:`select` (the result of the policy's
+        own refit cadence) and the async policy (a
+        :class:`~repro.engine.ModelSnapshot`'s result) — so ranking and
+        tie-breaking cannot drift between them.
+        """
+        calculator = self._build_calculator(result, answers)
+        gains = calculator.gains_batch(worker, candidates)
+        order = top_k_stable(gains, k)
+        cells = tuple(candidates[index] for index in order)
+        values = tuple(float(gains[index]) for index in order)
         return BatchAssignment(worker, cells, values)
 
     def observe(self, answers: AnswerSet) -> None:
@@ -341,9 +381,12 @@ class TCrowdAssigner(AssignmentPolicy):
             or len(answers) - self._answers_at_last_fit >= self.refit_every
         )
         if stale:
+            # The tolerance only makes sense once there is a previous result
+            # to warm-start from; the first (cold) fit keeps the full budget.
+            tol = self.refit_tol if self.warm_start and self._result else None
             self._result = refit_model(
                 self.model, self.schema, answers,
-                previous=self._result, warm_start=self.warm_start,
+                previous=self._result, warm_start=self.warm_start, tol=tol,
             )
             self._answers_at_last_fit = len(answers)
         return self._result

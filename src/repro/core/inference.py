@@ -69,9 +69,15 @@ class InferenceResult:
     objective_trace: List[float] = field(default_factory=list)
     n_iterations: int = 0
     converged: bool = False
+    stopped_by: str = "max_iterations"
 
     def __post_init__(self) -> None:
         self._worker_index = {worker: u for u, worker in enumerate(self.worker_ids)}
+
+    @property
+    def iterations_run(self) -> int:
+        """Number of EM iterations the fit actually ran (see ``stopped_by``)."""
+        return self.n_iterations
 
     # -- truth estimates ----------------------------------------------------
 
@@ -284,6 +290,8 @@ class TCrowdModel:
 
     #: Advertises the ``init=`` keyword of :meth:`fit` to the assigners.
     supports_warm_start = True
+    #: Advertises the ``tol=`` / ``max_iter=`` keywords of :meth:`fit`.
+    supports_objective_tol = True
 
     # -- public API ----------------------------------------------------------
 
@@ -292,6 +300,8 @@ class TCrowdModel:
         schema: TableSchema,
         answers: AnswerSet,
         init: Optional[InferenceResult] = None,
+        tol: Optional[float] = None,
+        max_iter: Optional[int] = None,
     ) -> InferenceResult:
         """Run EM truth inference over ``answers`` and return the result.
 
@@ -303,14 +313,35 @@ class TCrowdModel:
         EM still iterates to the usual convergence criterion, so the result
         matches a cold start up to the optimiser tolerance — only the number
         of iterations (the dominant online cost) shrinks.
+
+        ``tol`` adds objective-based early stopping on top of the parameter
+        criterion: EM stops once the expected complete-data log-likelihood
+        (:meth:`_objective`, already evaluated every iteration for
+        ``objective_trace``) improves by less than ``tol * max(1, |Q|)``
+        between successive iterations — the standard relative
+        log-likelihood criterion.  The difficulty parameters creep along a
+        near-flat likelihood ridge for many iterations, so a warm-started
+        refit in the online loop typically stops after two or three
+        iterations instead of the fixed budget while decoding to the same
+        truth estimates as the full-budget refit (asserted in
+        ``tests/test_refit_worker.py``); a cold start, whose early
+        iterations still gain whole units of log-likelihood, is unaffected.
+        The stop needs two recorded objective values, so at least two
+        iterations always run.  ``max_iter`` caps the iteration budget for
+        this call only (defaults to ``self.max_iterations``).
+
+        The result's ``stopped_by`` field records which criterion fired:
+        ``"parameters"``, ``"objective"`` or ``"max_iterations"``.
         """
         if len(answers) == 0:
             raise InferenceError("Cannot run truth inference on an empty answer set")
+        if tol is not None:
+            require_positive(tol, "tol")
+        if max_iter is not None:
+            require_positive(max_iter, "max_iter")
+        iteration_budget = self.max_iterations if max_iter is None else int(max_iter)
         indexed = answers.indexed()
         ws = _Workspace(schema, indexed, self.standardize_continuous)
-        num_rows = schema.num_rows
-        num_cols = schema.num_columns
-        num_workers = indexed.num_workers
 
         log_alpha, log_beta, log_phi = self._initial_parameters(
             init, schema, indexed
@@ -318,9 +349,10 @@ class TCrowdModel:
 
         objective_trace: List[float] = []
         converged = False
+        stopped_by = "max_iterations"
         iteration = 0
         self._e_step(ws, log_alpha, log_beta, log_phi)
-        for iteration in range(1, self.max_iterations + 1):
+        for iteration in range(1, iteration_budget + 1):
             previous = np.concatenate([log_alpha, log_beta, log_phi])
             log_alpha, log_beta, log_phi = self._m_step(
                 ws, log_alpha, log_beta, log_phi
@@ -332,6 +364,16 @@ class TCrowdModel:
             current = np.concatenate([log_alpha, log_beta, log_phi])
             if np.max(np.abs(current - previous)) < self.tolerance:
                 converged = True
+                stopped_by = "parameters"
+                break
+            if (
+                tol is not None
+                and len(objective_trace) >= 2
+                and abs(objective_trace[-1] - objective_trace[-2])
+                <= tol * max(1.0, abs(objective_trace[-1]))
+            ):
+                converged = True
+                stopped_by = "objective"
                 break
 
         posteriors = self._build_posteriors(ws)
@@ -348,6 +390,7 @@ class TCrowdModel:
             objective_trace=objective_trace,
             n_iterations=iteration,
             converged=converged,
+            stopped_by=stopped_by,
         )
 
     # -- initialisation --------------------------------------------------------

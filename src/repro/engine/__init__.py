@@ -15,17 +15,35 @@ candidate pool, async refits, multi-backend state) plugs in here.
 
 from repro.engine.state import SessionState
 
-__all__ = ["SessionState", "ShardedSessionState", "ShardedAssignmentPolicy"]
+__all__ = [
+    "SessionState",
+    "ShardedSessionState",
+    "ShardedAssignmentPolicy",
+    "AsyncRefitEngine",
+    "AsyncRefitPolicy",
+    "ModelSnapshot",
+    "VirtualClock",
+]
 
 _SHARDING_EXPORTS = ("ShardedSessionState", "ShardedAssignmentPolicy")
+_REFIT_EXPORTS = (
+    "AsyncRefitEngine",
+    "AsyncRefitPolicy",
+    "ModelSnapshot",
+    "VirtualClock",
+)
 
 
 def __getattr__(name):
     # Lazy so that ``core.assignment → engine.state → engine.__init__`` does
-    # not re-enter ``core.assignment`` (sharding builds on the policy base
-    # classes) while it is still half-initialised.
+    # not re-enter ``core.assignment`` (sharding and the async refit worker
+    # build on the policy base classes) while it is still half-initialised.
     if name in _SHARDING_EXPORTS:
         from repro.engine import sharding
 
         return getattr(sharding, name)
+    if name in _REFIT_EXPORTS:
+        from repro.engine import refit_worker
+
+        return getattr(refit_worker, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

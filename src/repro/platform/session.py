@@ -104,6 +104,19 @@ class CrowdsourcingSession:
         candidate pool is stored and scored.
     shard_workers:
         Optional thread-pool size for concurrent per-shard scoring.
+    async_refit:
+        Serve the policy through an
+        :class:`~repro.engine.AsyncRefitPolicy` (requires a
+        :class:`~repro.core.assignment.TCrowdAssigner`): truth-inference
+        refits run in a background worker and selects score against the
+        latest published :class:`~repro.engine.ModelSnapshot`.  Mutually
+        exclusive with ``shards``.
+    max_stale_answers:
+        Bounded-staleness knob for ``async_refit`` (see
+        :class:`~repro.engine.AsyncRefitEngine`).  The default ``0`` blocks
+        every select until the model has seen all answers, which replays
+        the synchronous session exactly; a positive bound lets selects run
+        against a snapshot at most that many answers behind.
     """
 
     def __init__(
@@ -119,6 +132,8 @@ class CrowdsourcingSession:
         max_steps: Optional[int] = None,
         shards: Optional[int] = None,
         shard_workers: Optional[int] = None,
+        async_refit: bool = False,
+        max_stale_answers: Optional[int] = 0,
     ) -> None:
         if dataset.oracle is None or dataset.worker_pool is None:
             raise ConfigurationError(
@@ -129,6 +144,12 @@ class CrowdsourcingSession:
             raise ConfigurationError(
                 "target_answers_per_task must exceed initial_answers_per_task"
             )
+        if async_refit and shards is not None and shards > 1:
+            raise ConfigurationError(
+                "async_refit and shards are mutually exclusive; pick one "
+                "serving configuration per session"
+            )
+        self._owned_policy = None
         if shards is not None and shards > 1:
             from repro.engine import ShardedAssignmentPolicy
 
@@ -140,9 +161,17 @@ class CrowdsourcingSession:
             policy = ShardedAssignmentPolicy(
                 policy, num_shards=shards, max_workers=shard_workers
             )
-            self._owned_policy: Optional[ShardedAssignmentPolicy] = policy
-        else:
-            self._owned_policy = None
+            self._owned_policy = policy
+        elif async_refit:
+            from repro.engine import AsyncRefitPolicy
+
+            if not isinstance(policy, TCrowdAssigner):
+                raise ConfigurationError(
+                    "async_refit requires a TCrowdAssigner policy, got "
+                    f"{type(policy).__name__}"
+                )
+            policy = AsyncRefitPolicy(policy, max_stale_answers=max_stale_answers)
+            self._owned_policy = policy
         self.dataset = dataset
         self.policy = policy
         self.inference = inference
@@ -207,9 +236,10 @@ class CrowdsourcingSession:
         try:
             return self._run()
         finally:
-            # The session owns the sharded wrapper it built: release its
-            # scoring thread pool (selects after close() score sequentially,
-            # so a re-run stays correct, just unpooled).
+            # The session owns the wrapper it built (sharded scoring pool or
+            # async refit worker): release its threads.  Selects after
+            # close() still work — sharded scoring just runs sequentially,
+            # and the async engine only loses its background worker.
             if self._owned_policy is not None:
                 self._owned_policy.close()
 

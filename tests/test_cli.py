@@ -45,3 +45,71 @@ class TestMain:
         assert "figure7" in printed
         assert "figure8" in printed
         assert "figure9" in printed
+
+
+class StubReport:
+    """Minimal stand-in for ExperimentReport in dispatch tests."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def to_text(self):
+        return f"[report:{self.name}]"
+
+
+class TestMainDispatch:
+    """Dispatch logic of main() exercised against stubbed experiments, so
+    the 'all' fan-out and the output plumbing are covered without running
+    the (slow) real harnesses."""
+
+    @pytest.fixture()
+    def stubbed(self, monkeypatch):
+        import repro.experiments.cli as cli
+
+        calls = []
+
+        def make(name):
+            def runner(args):
+                calls.append((name, args.seed, args.quick))
+                return [StubReport(name)]
+
+            return runner
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS", {name: make(name) for name in cli.EXPERIMENTS}
+        )
+        return calls
+
+    def test_all_runs_every_registered_experiment(self, stubbed, tmp_path, capsys):
+        from repro.experiments.cli import EXPERIMENTS, main
+
+        output = tmp_path / "all.txt"
+        assert main(["all", "--output", str(output)]) == 0
+        ran = [name for name, _seed, _quick in stubbed]
+        assert ran == sorted(EXPERIMENTS)
+        text = output.read_text()
+        for name in EXPERIMENTS:
+            assert f"[report:{name}]" in text
+        capsys.readouterr()
+
+    def test_single_experiment_runs_only_itself(self, stubbed, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["engine", "--seed", "11", "--quick"]) == 0
+        assert stubbed == [("engine", 11, True)]
+        assert "[report:engine]" in capsys.readouterr().out
+
+    def test_engine_experiment_registered(self):
+        from repro.experiments.cli import EXPERIMENTS, build_parser
+
+        assert "engine" in EXPERIMENTS
+        args = build_parser().parse_args(["engine", "--quick"])
+        assert args.experiment == "engine"
+
+    def test_output_file_not_written_on_parse_error(self, tmp_path):
+        from repro.experiments.cli import main
+
+        output = tmp_path / "never.txt"
+        with pytest.raises(SystemExit):
+            main(["nonsense", "--output", str(output)])
+        assert not output.exists()

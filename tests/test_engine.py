@@ -256,3 +256,21 @@ class TestPosteriorProtocol:
             assert isinstance(posterior, Posterior)
             assert np.isfinite(posterior.entropy())
             assert posterior.point_estimate() is not None
+
+
+class TestSessionStateQueries:
+    def test_answer_count_and_candidate_mask(self, mixed_schema, mixed_answers):
+        state = SessionState(mixed_schema, max_answers_per_cell=4)
+        state.sync(mixed_answers)
+        counts = mixed_answers.answer_counts()
+        assert state.answer_count(0, 0) == counts[0, 0]
+        for worker in (mixed_answers.workers[0], "brand-new"):
+            mask = state.candidate_mask(worker)
+            assert mask.shape == counts.shape
+            expected = {
+                (i, j)
+                for i in range(mixed_schema.num_rows)
+                for j in range(mixed_schema.num_columns)
+                if mask[i, j]
+            }
+            assert expected == set(state.candidate_cells(worker))

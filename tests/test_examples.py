@@ -8,6 +8,7 @@ import importlib.util
 import pathlib
 import sys
 
+import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
@@ -60,6 +61,7 @@ class TestExampleScripts:
         assert "Calibration" in output
         assert "estimated quality" in output
 
+    @pytest.mark.slow
     def test_adaptive_task_assignment_small(self, capsys, monkeypatch):
         module = _load_example("adaptive_task_assignment.py")
         monkeypatch.setattr(
@@ -71,6 +73,7 @@ class TestExampleScripts:
         assert "Structure-aware IG" in output
         assert "answers/task" in output
 
+    @pytest.mark.slow
     def test_custom_table_collection(self, capsys):
         module = _load_example("custom_table_collection.py")
         module.main()

@@ -65,6 +65,7 @@ class TestTable7:
 
 
 class TestFigure2And5:
+    @pytest.mark.slow
     def test_figure2_structure(self):
         report = run_figure2(
             dataset_name="Restaurant", seed=3, num_rows=15, eval_every=1.0,
@@ -82,6 +83,7 @@ class TestFigure2And5:
         with pytest.raises(ConfigurationError):
             run_figure2(dataset_name="Nope")
 
+    @pytest.mark.slow
     def test_figure5_structure(self):
         report = run_figure5(seed=3, num_rows=15, eval_every=1.0, model_kwargs=FAST_MODEL)
         names = [row[0] for row in report.rows]

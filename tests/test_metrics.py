@@ -134,3 +134,59 @@ class TestPearson:
     def test_length_mismatch_rejected(self):
         with pytest.raises(DataError):
             pearson_correlation([1, 2], [1, 2, 3])
+
+
+class TestEffectivenessEdgeCases:
+    def test_error_rate_rejects_empty_column_selection(self, toy_dataset):
+        estimates = {cell: truth for cell, truth in toy_dataset.ground_truth.items()}
+        # Restricting to continuous columns leaves no categorical cell.
+        with pytest.raises(DataError):
+            error_rate(estimates, toy_dataset, columns=[1, 2])
+        with pytest.raises(DataError):
+            error_rate(estimates, toy_dataset, columns=[])
+
+    def test_mnad_rejects_empty_column_selection(self, toy_dataset):
+        estimates = {cell: truth for cell, truth in toy_dataset.ground_truth.items()}
+        # Restricting to the categorical column leaves no continuous cell.
+        with pytest.raises(DataError):
+            mnad(estimates, toy_dataset, columns=[0])
+        with pytest.raises(DataError):
+            mnad(estimates, toy_dataset, columns=[])
+
+    def _single_worker_dataset(self, answers_in_continuous=1):
+        schema = TableSchema.build(
+            "s",
+            [
+                Column.categorical("cat", ["a", "b"]),
+                Column.continuous("x", (0.0, 10.0)),
+            ],
+            3,
+        )
+        truth = {}
+        for i in range(3):
+            truth[(i, 0)] = "a"
+            truth[(i, 1)] = float(i + 1)
+        answers = AnswerSet(schema)
+        for i in range(3):
+            answers.add_answer("solo", i, 0, "a")
+        for i in range(answers_in_continuous):
+            answers.add_answer("solo", i, 1, truth[(i, 1)] + 1.0)
+        return CrowdDataset("single-worker", schema, truth, answers)
+
+    def test_single_answer_column_falls_back_to_truth_std(self):
+        """With fewer than two collected answers the 'answers' normaliser
+        cannot estimate a spread and must fall back to the truth std."""
+        dataset = self._single_worker_dataset(answers_in_continuous=1)
+        estimates = {cell: truth for cell, truth in dataset.ground_truth.items()}
+        by_answers = mnad(estimates, dataset, normalize_by="answers")
+        by_truth = mnad(estimates, dataset, normalize_by="truth")
+        assert by_answers == pytest.approx(by_truth)
+
+    def test_single_worker_dataset_metrics_are_finite(self):
+        dataset = self._single_worker_dataset(answers_in_continuous=3)
+        estimates = {cell: truth for cell, truth in dataset.ground_truth.items()}
+        assert error_rate(estimates, dataset) == 0.0
+        assert np.isfinite(mnad(estimates, dataset))
+        # Degrade one categorical estimate: the error rate moves by 1/3.
+        estimates[(0, 0)] = "b"
+        assert error_rate(estimates, dataset) == pytest.approx(1 / 3)

@@ -179,3 +179,134 @@ class TestCrowdsourcingSession:
         )
         trace = session.run()
         assert trace.final.answers_per_task < 4.0
+
+
+class TestSessionTraceEdgeCases:
+    def _record(self, answers_per_task, error_rate=None, mnad=None):
+        from repro.platform.session import SessionRecord
+
+        return SessionRecord(
+            answers_collected=int(answers_per_task * 10),
+            answers_per_task=answers_per_task,
+            error_rate=error_rate,
+            mnad=mnad,
+            spent_money=0.0,
+        )
+
+    def _trace(self, records=()):
+        from repro.platform.session import SessionTrace
+
+        return SessionTrace("policy", "inference", "dataset", list(records))
+
+    def test_final_raises_on_empty_trace(self):
+        with pytest.raises(ConfigurationError):
+            self._trace().final
+
+    def test_answers_to_reach_on_empty_trace(self):
+        assert self._trace().answers_to_reach("error_rate", 0.5) is None
+
+    def test_answers_to_reach_when_target_never_reached(self):
+        trace = self._trace(
+            [
+                self._record(1.0, error_rate=0.5),
+                self._record(2.0, error_rate=0.4),
+                self._record(3.0, error_rate=0.35),
+            ]
+        )
+        assert trace.answers_to_reach("error_rate", 0.1) is None
+
+    def test_answers_to_reach_skips_missing_metric_values(self):
+        trace = self._trace(
+            [
+                self._record(1.0, error_rate=0.5),          # mnad missing
+                self._record(2.0, error_rate=0.4, mnad=0.3),
+            ]
+        )
+        assert trace.answers_to_reach("mnad", 0.3) == pytest.approx(2.0)
+        # A metric that never gets a value is never reached.
+        trace_missing = self._trace([self._record(1.0, error_rate=0.5)])
+        assert trace_missing.answers_to_reach("mnad", 1.0) is None
+
+    def test_answers_to_reach_returns_first_crossing(self):
+        trace = self._trace(
+            [
+                self._record(1.0, error_rate=0.5),
+                self._record(2.0, error_rate=0.2),
+                self._record(3.0, error_rate=0.1),
+            ]
+        )
+        assert trace.answers_to_reach("error_rate", 0.2) == pytest.approx(2.0)
+
+
+class TestAsyncRefitSession:
+    @pytest.fixture(scope="class")
+    def async_dataset(self):
+        return generate_synthetic(
+            num_rows=8, num_columns=3, categorical_ratio=0.5,
+            answers_per_task=2, num_workers=12, seed=9,
+        )
+
+    def _session(self, dataset, **kwargs):
+        model = TCrowdModel(max_iterations=4, m_step_iterations=8)
+        policy = TCrowdAssigner(
+            dataset.schema, model=model, refit_every=1,
+        )
+        return CrowdsourcingSession(
+            dataset, policy, model,
+            target_answers_per_task=1.6,
+            eval_every_answers_per_task=0.5,
+            seed=6,
+            **kwargs,
+        )
+
+    def test_async_exact_session_replays_synchronous_trace(self, async_dataset):
+        sync_trace = self._session(async_dataset).run()
+        async_trace = self._session(
+            async_dataset, async_refit=True, max_stale_answers=0
+        ).run()
+        assert async_trace.records == sync_trace.records
+        assert async_trace.policy_name.endswith("[async refit]")
+
+    def test_bounded_staleness_session_completes(self, async_dataset):
+        trace = self._session(
+            async_dataset, async_refit=True, max_stale_answers=6
+        ).run()
+        assert trace.final.answers_per_task > 1.0
+        assert trace.final.error_rate is not None
+
+    def test_async_and_shards_are_mutually_exclusive(self, async_dataset):
+        with pytest.raises(ConfigurationError):
+            self._session(
+                async_dataset, async_refit=True, shards=2
+            )
+
+    def test_async_requires_tcrowd_policy(self, async_dataset):
+        model = TCrowdModel(max_iterations=4, m_step_iterations=8)
+        with pytest.raises(ConfigurationError):
+            CrowdsourcingSession(
+                async_dataset,
+                RandomAssigner(async_dataset.schema, seed=0),
+                model,
+                target_answers_per_task=2.0,
+                async_refit=True,
+            )
+
+    def test_single_worker_session_stops_gracefully(self):
+        dataset = generate_synthetic(
+            num_rows=5, num_columns=3, categorical_ratio=0.5,
+            answers_per_task=1, num_workers=1, seed=12,
+        )
+        session = CrowdsourcingSession(
+            dataset,
+            RandomAssigner(dataset.schema, seed=0),
+            CombinedInference(),
+            target_answers_per_task=3.0,
+            eval_every_answers_per_task=1.0,
+            seed=3,
+        )
+        # The only worker answered every cell during seeding, so no further
+        # assignment is possible; the session must terminate with the seed
+        # evaluation rather than loop on assignment failures.
+        trace = session.run()
+        assert len(trace.records) >= 1
+        assert trace.final.answers_per_task == pytest.approx(1.0)
