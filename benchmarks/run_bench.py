@@ -24,10 +24,19 @@ Recorded fields (see also ``benchmarks/README.md``):
   serve background snapshots lock-free and warm refits stop early on the
   EM objective, so this is the async win on top of the engine's.
 * ``identical_assignments`` / ``identical_assignments_sharded`` /
-  ``identical_assignments_async`` — the exact engine path, the partitioned
-  top-K path and the async path at ``max_stale_answers=0`` must replay the
-  seed path's assignment sequence bit for bit; all are hard failures here
-  and in CI.
+  ``identical_assignments_async`` / ``identical_assignments_sharded_async``
+  — the exact engine path, the partitioned top-K path, the async path at
+  ``max_stale_answers=0`` and the composed sharded+async path must replay
+  the seed path's assignment sequence bit for bit; all are hard failures
+  here and in CI.
+* ``recovery_identical`` (with ``--serve``) — a durable session killed
+  mid-run (write-ahead log with a torn tail) must recover and continue to
+  the very same assignment sequence and final estimates as an
+  uninterrupted run (see :mod:`repro.service.wal`).
+* ``serve_requests_per_sec`` / ``serve_select_p50_ms`` /
+  ``serve_select_p99_ms`` (with ``--serve``) — HTTP serving throughput of
+  one scripted session driven against a live ``repro.service`` server on
+  an ephemeral port.
 * ``warm_agreement`` — fraction of *steps* where the warm-start path took
   the very same decision as the seed path.  Warm starts perturb the EM
   trajectory, and most gain rankings are near-ties, so this number is small
@@ -85,6 +94,11 @@ def main(argv=None) -> int:
         help="staleness bound (answers) for the timed async path "
         "(default: two HITs' worth)",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="also run the HTTP serving benchmark and the WAL "
+        "crash-recovery equivalence check (repro.service)",
+    )
     parser.add_argument("--smoke", action="store_true",
                         help="tiny scenario for CI (not a baseline)")
     args = parser.parse_args(argv)
@@ -101,6 +115,24 @@ def main(argv=None) -> int:
         async_refit=args.async_refit,
         max_stale_answers=args.max_stale,
     )
+    if args.serve:
+        from repro.service.bench import measure_serving, verify_recovery_identical
+
+        stats.update(
+            verify_recovery_identical(
+                mode="sharded_async" if args.async_refit else "plain",
+                crash_after_steps=3,
+                truncate_bytes=7,
+                snapshot_every=25,
+            )
+        )
+        stats.update(
+            measure_serving(
+                seed=args.seed,
+                num_rows=12 if args.smoke else 24,
+                target_answers_per_task=1.3 if args.smoke else 1.6,
+            )
+        )
     payload = {
         "benchmark": "engine_online_loop",
         "smoke": bool(args.smoke),
@@ -125,6 +157,20 @@ def main(argv=None) -> int:
         print(
             "FAIL: async path at max_stale_answers=0 diverged from the "
             "seed path",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("identical_assignments_sharded_async", True):
+        print(
+            "FAIL: composed sharded+async path at max_stale_answers=0 "
+            "diverged from the seed path",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("recovery_identical", True):
+        print(
+            "FAIL: WAL+snapshot recovery did not reproduce the "
+            "uninterrupted session bit for bit",
             file=sys.stderr,
         )
         return 1

@@ -6,9 +6,17 @@ when either
 
 * an equivalence bit flipped — ``identical_assignments`` (exact engine path
   vs seed path), ``identical_assignments_sharded`` (partitioned top-K vs
-  seed path) or ``identical_assignments_async`` (async serving path at
-  ``max_stale_answers=0`` vs seed path) is false, which is a correctness
-  regression, never noise; or
+  seed path), ``identical_assignments_async`` (async serving path at
+  ``max_stale_answers=0`` vs seed path),
+  ``identical_assignments_sharded_async`` (the composed sharded+async
+  policy) or ``recovery_identical`` (WAL+snapshot crash recovery replays
+  the session bit for bit) is false, which is a correctness regression,
+  never noise; or
+* the HTTP serving throughput (``serve_requests_per_sec``) of the smoke
+  run dropped below ``baseline * serve-headroom`` — the smoke server
+  serves a *smaller* table than the baseline run, so a smoke run slower
+  than a generous fraction of the committed baseline means the service
+  layer itself regressed; or
 * the engine-path speedup of the smoke run dropped below a floor derived
   from the committed baseline: ``floor = baseline_speedup * headroom``.
   The headroom (default 0.35) absorbs two effects at once — the smoke
@@ -60,6 +68,14 @@ def main(argv=None) -> int:
         help="fraction of the baseline speedup the candidate must reach "
         "(absorbs smoke-vs-full scale and runner noise)",
     )
+    parser.add_argument(
+        "--serve-headroom",
+        type=float,
+        default=0.15,
+        help="fraction of the baseline serve_requests_per_sec the smoke "
+        "run must reach (the smoke table is smaller, so this floor only "
+        "catches outright service regressions)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -98,6 +114,50 @@ def main(argv=None) -> int:
             "at max_stale_answers=0 no longer replays the seed path's "
             "assignment sequence"
         )
+    if "identical_assignments_sharded_async" not in candidate:
+        failures.append(
+            "candidate has no identical_assignments_sharded_async field: "
+            "the smoke run must include the composed path (run_bench.py "
+            "--shards >= 2 --async-refit)"
+        )
+    elif not candidate["identical_assignments_sharded_async"]:
+        failures.append(
+            "identical_assignments_sharded_async is false: the composed "
+            "sharded+async policy at max_stale_answers=0 no longer replays "
+            "the seed path's assignment sequence"
+        )
+    if "recovery_identical" not in candidate:
+        failures.append(
+            "candidate has no recovery_identical field: the smoke run must "
+            "include the durability check (run_bench.py --serve)"
+        )
+    elif not candidate["recovery_identical"]:
+        failures.append(
+            "recovery_identical is false: WAL+snapshot recovery no longer "
+            "reproduces the uninterrupted session bit for bit"
+        )
+
+    serve_baseline = float(baseline.get("serve_requests_per_sec", 0.0))
+    serve_candidate = float(candidate.get("serve_requests_per_sec", 0.0))
+    if serve_baseline > 0.0:
+        serve_floor = serve_baseline * args.serve_headroom
+        if "serve_requests_per_sec" not in candidate:
+            failures.append(
+                "candidate has no serve_requests_per_sec field: the smoke "
+                "run must include the serving benchmark (run_bench.py "
+                "--serve)"
+            )
+        elif serve_candidate < serve_floor:
+            failures.append(
+                f"serve_requests_per_sec {serve_candidate:.1f} fell below "
+                f"the floor {serve_floor:.1f} (baseline "
+                f"{serve_baseline:.1f} * serve-headroom "
+                f"{args.serve_headroom})"
+            )
+        print(
+            f"serve_requests_per_sec: baseline {serve_baseline:.1f} -> "
+            f"floor {serve_floor:.1f}, candidate {serve_candidate:.1f}"
+        )
 
     floors = {}
     for field in ("speedup", "speedup_sharded", "speedup_async"):
@@ -129,7 +189,10 @@ def main(argv=None) -> int:
     print(
         f"identical={candidate.get('identical_assignments')}, "
         f"identical_sharded={candidate.get('identical_assignments_sharded')}, "
-        f"identical_async={candidate.get('identical_assignments_async')}"
+        f"identical_async={candidate.get('identical_assignments_async')}, "
+        f"identical_sharded_async="
+        f"{candidate.get('identical_assignments_sharded_async')}, "
+        f"recovery_identical={candidate.get('recovery_identical')}"
     )
     if failures:
         for failure in failures:

@@ -1,0 +1,132 @@
+"""CI smoke test of the crowd-serving HTTP service.
+
+Starts ``python -m repro.service --port 0`` as a real subprocess, drives a
+scripted session over HTTP (create session → seed answers → select/ingest
+loop → estimates), scrapes ``/metrics``, and shuts the server down cleanly
+(SIGINT, asserting the clean-shutdown message).  Exercises the same code
+path an operator would run, end to end, in a few seconds.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import load_celebrity  # noqa: E402
+from repro.service.bench import ServiceClient  # noqa: E402
+from repro.service.registry import schema_to_dict  # noqa: E402
+
+
+def main() -> int:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={
+            **os.environ,
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "PYTHONUNBUFFERED": "1",
+        },
+    )
+    try:
+        line = process.stdout.readline().strip()
+        if not line.startswith("listening on "):
+            raise RuntimeError(f"unexpected server banner: {line!r}")
+        address = line.removeprefix("listening on ")
+        print(f"server up at {address}")
+        client = ServiceClient(address, timeout=30.0)
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+
+        dataset = load_celebrity(seed=7, num_rows=8)
+        schema = dataset.schema
+        pool = dataset.worker_pool
+        worker_ids, activities = pool.worker_ids(), pool.activities()
+        rng = np.random.default_rng(7)
+        session = client.create_session(
+            {
+                "schema": schema_to_dict(schema),
+                "policy": {
+                    "refit_every": 1,
+                    "model": {"max_iterations": 4, "m_step_iterations": 8},
+                },
+                "serving": {"shards": 2, "async_refit": True,
+                            "max_stale_answers": 0},
+            }
+        )
+        session_id = session["session_id"]
+        print(f"session {session_id} created ({session['policy']})")
+
+        for row in range(schema.num_rows):
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            client.post_answers(
+                session_id,
+                worker,
+                [
+                    (row, col, dataset.oracle.answer(worker, row, col, rng))
+                    for col in range(schema.num_columns)
+                ],
+            )
+        extra = int(round(0.4 * schema.num_cells))
+        collected = failures = 0
+        while collected < extra and failures < 50:
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            status, body = client.get_tasks(
+                session_id, worker, k=min(schema.num_columns, extra - collected)
+            )
+            if status == 409:
+                failures += 1
+                continue
+            assert status == 200, (status, body)
+            failures = 0
+            client.post_answers(
+                session_id,
+                worker,
+                [
+                    (row, col, dataset.oracle.answer(worker, row, col, rng))
+                    for row, col in body["cells"]
+                ],
+            )
+            collected += len(body["cells"])
+        print(f"collected {collected} answers over HTTP")
+
+        estimates = client.get_estimates(session_id)
+        assert len(estimates["estimates"]) == schema.num_cells, estimates
+
+        metrics = client.get_metrics()
+        for needle in (
+            "repro_service_sessions_active 1",
+            "repro_service_selects_served_total",
+            "repro_service_answers_ingested_total",
+        ):
+            assert needle in metrics, f"{needle!r} missing from /metrics"
+        print("metrics scrape OK")
+
+        process.send_signal(signal.SIGINT)
+        remaining, _ = process.communicate(timeout=30)
+        if "shut down cleanly" not in remaining:
+            raise RuntimeError(f"no clean shutdown message in: {remaining!r}")
+        print("clean shutdown OK")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -368,6 +368,53 @@ class TCrowdAssigner(AssignmentPolicy):
         """Refresh truth inference if enough new answers arrived."""
         self._ensure_result(answers)
 
+    def calculator_for(self, result: InferenceResult, answers: AnswerSet):
+        """Gain calculator scoring with an externally supplied ``result``.
+
+        The public seam used by serving modes that bring their own inference
+        result — the sharded scorer reading async
+        :class:`~repro.engine.ModelSnapshot`s builds its per-shard
+        calculator here, so its scores come from exactly the same
+        calculator construction as :meth:`rank_candidates`.
+        """
+        return self._build_calculator(result, answers)
+
+    def final_result(self, answers: AnswerSet) -> InferenceResult:
+        """Truth inference over *all* of ``answers`` (end-of-session estimates).
+
+        Unlike :meth:`observe`, which honours the ``refit_every`` cadence,
+        this catches the model fully up (warm-started per the knobs) and
+        records the fit in the refit bookkeeping — it is a real event in the
+        warm-start chain, which is what lets the service layer's WAL replay
+        reproduce estimate requests deterministically.
+        """
+        if self._result is None or self._answers_at_last_fit < len(answers):
+            tol = self.refit_tol if self.warm_start and self._result else None
+            self._result = refit_model(
+                self.model, self.schema, answers,
+                previous=self._result, warm_start=self.warm_start, tol=tol,
+            )
+            self._answers_at_last_fit = len(answers)
+        return self._result
+
+    # -- durability ------------------------------------------------------------
+
+    def snapshot_state(self) -> Optional[Tuple[InferenceResult, int]]:
+        """``(result, answers_seen)`` of the last refit, for durable snapshots.
+
+        ``None`` before the first fit.  Together with :meth:`restore_state`
+        this is the contract the service layer's write-ahead log uses to
+        persist and rebuild the warm-start chain bit-identically.
+        """
+        if self._result is None:
+            return None
+        return self._result, self._answers_at_last_fit
+
+    def restore_state(self, result: InferenceResult, answers_seen: int) -> None:
+        """Restore the refit bookkeeping captured by :meth:`snapshot_state`."""
+        self._result = result
+        self._answers_at_last_fit = int(answers_seen)
+
     # -- internals -------------------------------------------------------------
 
     def _ensure_result(self, answers: AnswerSet) -> InferenceResult:

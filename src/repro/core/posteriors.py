@@ -131,6 +131,22 @@ class CategoricalPosterior:
         labels = tuple(labels)
         return cls(labels, np.full(len(labels), 1.0 / len(labels)))
 
+    @classmethod
+    def from_normalized(cls, labels, probs) -> "CategoricalPosterior":
+        """Rebuild a posterior from already-normalised probabilities.
+
+        The constructor renormalises ``probs`` by their sum, which can
+        perturb the last bits when the stored mass sums to 1 only within a
+        few ulps.  Durable snapshot restores need the *exact* persisted
+        vector back (gain rankings break near-ties on those bits), so this
+        constructor validates and then reinstates the probabilities as-is.
+        """
+        posterior = cls(tuple(labels), probs)
+        object.__setattr__(
+            posterior, "probs", np.asarray(probs, dtype=float).copy()
+        )
+        return posterior
+
     def entropy(self) -> float:
         """Shannon entropy ``-sum_z P(z) ln P(z)``."""
         probs = self.probs

@@ -19,6 +19,7 @@ __all__ = [
     "SessionState",
     "ShardedSessionState",
     "ShardedAssignmentPolicy",
+    "ShardedAsyncPolicy",
     "AsyncRefitEngine",
     "AsyncRefitPolicy",
     "ModelSnapshot",
@@ -32,6 +33,7 @@ _REFIT_EXPORTS = (
     "ModelSnapshot",
     "VirtualClock",
 )
+_COMPOSED_EXPORTS = ("ShardedAsyncPolicy",)
 
 
 def __getattr__(name):
@@ -46,4 +48,8 @@ def __getattr__(name):
         from repro.engine import refit_worker
 
         return getattr(refit_worker, name)
+    if name in _COMPOSED_EXPORTS:
+        from repro.engine import composed
+
+        return getattr(composed, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

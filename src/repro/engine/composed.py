@@ -1,0 +1,128 @@
+"""Composed serving mode: sharded scoring over async refit snapshots.
+
+:class:`~repro.engine.ShardedAssignmentPolicy` partitions the candidate pool
+and :class:`~repro.engine.AsyncRefitEngine` takes the EM refit off the select
+path; until now they were mutually exclusive because the sharded scorer
+pulled its model from the wrapped assigner's *synchronous* refit cadence.
+:class:`ShardedAsyncPolicy` closes that gap (the ROADMAP's "compose the
+serving modes" item): per-shard ``gains_batch`` scoring and the stable
+top-K heap merge run exactly as in the sharded policy, but the gain
+calculator is built over whatever immutable
+:class:`~repro.engine.ModelSnapshot` the async engine currently serves —
+read lock-free, refreshed by a background worker, bounded by
+``max_stale_answers``.
+
+The equivalence contract is the intersection of the two parents': at
+``max_stale_answers=0`` every select blocks until the model has seen all
+answers (reproducing the synchronous fit chain) and the partitioned merge is
+a pure refactor of the monolithic top-K, so the composed policy replays the
+synchronous engine's assignment sequence bit for bit — recorded as
+``identical_assignments_sharded_async`` by the benchmark and pinned by the
+golden-trace matrix.  With a positive bound the select path neither runs EM
+nor rescans the table: it reads a snapshot and scores K row-range blocks
+(optionally on a thread pool).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.answers import AnswerSet
+from repro.core.assignment import TCrowdAssigner
+from repro.core.inference import InferenceResult
+from repro.engine.refit_worker import AsyncRefitEngine
+from repro.engine.sharding import ShardedAssignmentPolicy
+from repro.utils.exceptions import AssignmentError
+
+
+class ShardedAsyncPolicy(ShardedAssignmentPolicy):
+    """Partitioned top-K selection scored against async refit snapshots.
+
+    Parameters
+    ----------
+    inner:
+        The assigner whose model, gain configuration and refit cadence are
+        reused (same restrictions as both parents: closed-form gains only).
+    num_shards:
+        Number of contiguous row-range shards.
+    max_workers:
+        Optional thread-pool size for concurrent per-shard scoring.
+    max_stale_answers:
+        Bounded-staleness knob (see :class:`~repro.engine.AsyncRefitEngine`).
+        ``0`` blocks every select until the model is caught up — the
+        synchronous-equivalent mode the golden trace pins.
+    clock:
+        ``None`` starts a private background refit thread; pass a
+        :class:`~repro.engine.VirtualClock` for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        inner: TCrowdAssigner,
+        num_shards: int = 2,
+        max_workers: Optional[int] = None,
+        max_stale_answers: Optional[int] = 0,
+        clock=None,
+    ) -> None:
+        super().__init__(inner, num_shards=num_shards, max_workers=max_workers)
+        self.engine = AsyncRefitEngine(
+            inner.model,
+            inner.schema,
+            refit_every=inner.refit_every,
+            max_stale_answers=max_stale_answers,
+            warm_start=inner.warm_start,
+            tol=inner.refit_tol,
+            clock=clock,
+        )
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name} [sharded x{self.num_shards} + async refit]"
+
+    @property
+    def last_result(self) -> Optional[InferenceResult]:
+        """The latest snapshot's inference result (None before any fit)."""
+        snapshot = self.engine.snapshot
+        return None if snapshot is None else snapshot.result
+
+    # -- scoring seam --------------------------------------------------------
+
+    def _scoring_calculator(self, answers: AnswerSet):
+        """Build the per-select calculator over the served snapshot."""
+        if len(answers) == 0:
+            raise AssignmentError(
+                "T-Crowd assignment needs at least one collected answer; "
+                "seed each task with initial answers first (Algorithm 2, line 1)"
+            )
+        result = self.engine.result_for(answers)
+        return self.inner.calculator_for(result, answers)
+
+    # -- policy --------------------------------------------------------------
+
+    def observe(self, answers: AnswerSet) -> None:
+        """Request a background refit for the newly arrived answers."""
+        self.engine.notify(answers)
+
+    def final_result(self, answers: AnswerSet) -> InferenceResult:
+        """Blocking catch-up fit over all answers (end-of-session estimates)."""
+        return self.engine.refit_now(answers).result
+
+    # -- durability ----------------------------------------------------------
+
+    def snapshot_state(self) -> Optional[Tuple[InferenceResult, int]]:
+        """``(result, answers_seen)`` of the served snapshot (durable protocol)."""
+        snapshot = self.engine.snapshot
+        if snapshot is None:
+            return None
+        return snapshot.result, snapshot.answers_seen
+
+    def restore_state(self, result: InferenceResult, answers_seen: int) -> None:
+        """Re-seat a persisted snapshot (see :meth:`AsyncRefitEngine.restore`)."""
+        self.engine.restore(result, answers_seen)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the scoring pool and the refit worker (idempotent)."""
+        super().close()
+        self.engine.close()

@@ -345,6 +345,27 @@ class AsyncRefitEngine:
                 return snapshot.result
         return self.refit_now(answers).result
 
+    def restore(
+        self, result: InferenceResult, answers_seen: int, epoch: Optional[int] = None
+    ) -> ModelSnapshot:
+        """Publish a previously persisted result as the served snapshot.
+
+        The durable-recovery entry point: the service layer's write-ahead
+        log deserialises the model state it snapshotted and re-seats it
+        here, after which selects and catch-up refits continue the very
+        same warm-start chain the crashed process was on.  ``epoch``
+        defaults to one past the current epoch (0 on a fresh engine).
+        """
+        with self._fit_lock:
+            if epoch is None:
+                epoch = self.epoch + 1
+            self._snapshot = ModelSnapshot(
+                epoch=int(epoch),
+                result=result,
+                answers_seen=int(answers_seen),
+            )
+            return self._snapshot
+
     def refit_now(self, answers: AnswerSet) -> ModelSnapshot:
         """Blocking refit bringing the snapshot fully up to date."""
         self._raise_background_error()
@@ -505,3 +526,16 @@ class AsyncRefitPolicy(AssignmentPolicy):
     def final_result(self, answers: AnswerSet) -> InferenceResult:
         """Blocking catch-up fit over all answers (end-of-session estimates)."""
         return self.engine.refit_now(answers).result
+
+    # -- durability ----------------------------------------------------------
+
+    def snapshot_state(self) -> Optional[Tuple[InferenceResult, int]]:
+        """``(result, answers_seen)`` of the served snapshot (durable protocol)."""
+        snapshot = self.engine.snapshot
+        if snapshot is None:
+            return None
+        return snapshot.result, snapshot.answers_seen
+
+    def restore_state(self, result: InferenceResult, answers_seen: int) -> None:
+        """Re-seat a persisted snapshot (see :meth:`AsyncRefitEngine.restore`)."""
+        self.engine.restore(result, answers_seen)

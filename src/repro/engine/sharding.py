@@ -187,6 +187,18 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
         """The wrapped assigner's most recent truth-inference result."""
         return self.inner.last_result
 
+    def final_result(self, answers: AnswerSet):
+        """Catch-up fit over all answers (see :meth:`TCrowdAssigner.final_result`)."""
+        return self.inner.final_result(answers)
+
+    def snapshot_state(self):
+        """Delegate durable snapshots to the wrapped assigner."""
+        return self.inner.snapshot_state()
+
+    def restore_state(self, result, answers_seen: int) -> None:
+        """Delegate durable restores to the wrapped assigner."""
+        self.inner.restore_state(result, answers_seen)
+
     def close(self) -> None:
         """Shut down the scoring thread pool (idempotent)."""
         if self._executor is not None:
@@ -217,6 +229,16 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
 
     # -- policy -------------------------------------------------------------
 
+    def _scoring_calculator(self, answers: AnswerSet):
+        """The gain calculator one select scores every shard with.
+
+        The seam the composed serving mode overrides:
+        :class:`~repro.engine.ShardedAsyncPolicy` substitutes a calculator
+        built over the latest async :class:`~repro.engine.ModelSnapshot`
+        instead of the wrapped assigner's synchronous refit.
+        """
+        return self.inner.prepare_scoring(answers)
+
     def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
         """Assign the top-``k`` cells by gain, scored shard by shard."""
         if k < 1:
@@ -228,7 +250,7 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
         ]
         if not any(shard_cells):
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
-        calculator = self.inner.prepare_scoring(answers)
+        calculator = self._scoring_calculator(answers)
 
         def score(cells: List[Cell]) -> np.ndarray:
             if not cells:

@@ -251,7 +251,16 @@ def measure_engine_speedup(
             refit_tol=refit_tol,
         )
         policy = assigner
-        if num_shards is not None:
+        if num_shards is not None and async_stale != "off":
+            from repro.engine import ShardedAsyncPolicy
+
+            policy = ShardedAsyncPolicy(
+                assigner,
+                num_shards=num_shards,
+                max_workers=shard_workers,
+                max_stale_answers=async_stale,
+            )
+        elif num_shards is not None:
             from repro.engine import ShardedAssignmentPolicy
 
             policy = ShardedAssignmentPolicy(
@@ -377,6 +386,28 @@ def measure_engine_speedup(
         stats["async_refit_tol"] = async_refit_tol
         stats["seconds_engine_async_path"] = async_seconds
         stats["speedup_async"] = exact_seconds / max(async_seconds, 1e-12)
+    if async_refit and shards is not None and shards > 1:
+        # Composed serving mode (ShardedAsyncPolicy).  Equivalence run at
+        # max_stale_answers=0: the sharded scorer reading blocking-refit
+        # snapshots must still replay the seed sequence bit for bit.
+        composed_exact, _, _, _, _ = run_path(
+            warm_start=False, fast=True, num_shards=shards, async_stale=0
+        )
+        stats["identical_assignments_sharded_async"] = (
+            seed_decisions == composed_exact
+        )
+        # Production composed run: bounded staleness + warm early-stopped
+        # refits, scored shard by shard.  Compared against the synchronous
+        # engine path, like speedup_async.
+        stale = int(stats["async_max_stale_answers"])
+        _, composed_seconds, _, _, _ = run_path(
+            warm_start=True, fast=True, num_shards=shards, async_stale=stale,
+            refit_tol=async_refit_tol,
+        )
+        stats["seconds_engine_sharded_async_path"] = composed_seconds
+        stats["speedup_sharded_async"] = exact_seconds / max(
+            composed_seconds, 1e-12
+        )
     return stats
 
 
@@ -450,6 +481,15 @@ def engine_speedup_report(stats: Dict[str, object]) -> ExperimentReport:
             f"exact@stale=0: {stats['identical_assignments_async']}",
         )
         series.append((4, stats["seconds_engine_async_path"]))
+    if "speedup_sharded_async" in stats:
+        report.add_row(
+            f"engine, sharded x{stats['shards']} + async refit "
+            f"(max_stale={stats['async_max_stale_answers']})",
+            stats["seconds_engine_sharded_async_path"],
+            stats["speedup_sharded_async"],
+            f"exact@stale=0: {stats['identical_assignments_sharded_async']}",
+        )
+        series.append((5, stats["seconds_engine_sharded_async_path"]))
     report.add_series("seconds", series)
     report.add_note(
         f"num_rows={stats['num_rows']}, refit_every={stats['refit_every']}, "

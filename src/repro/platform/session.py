@@ -109,14 +109,29 @@ class CrowdsourcingSession:
         :class:`~repro.engine.AsyncRefitPolicy` (requires a
         :class:`~repro.core.assignment.TCrowdAssigner`): truth-inference
         refits run in a background worker and selects score against the
-        latest published :class:`~repro.engine.ModelSnapshot`.  Mutually
-        exclusive with ``shards``.
+        latest published :class:`~repro.engine.ModelSnapshot`.  Combined
+        with ``shards`` > 1 the session serves the composed
+        :class:`~repro.engine.ShardedAsyncPolicy` — per-shard scoring over
+        async snapshots.
     max_stale_answers:
         Bounded-staleness knob for ``async_refit`` (see
         :class:`~repro.engine.AsyncRefitEngine`).  The default ``0`` blocks
         every select until the model has seen all answers, which replays
-        the synchronous session exactly; a positive bound lets selects run
-        against a snapshot at most that many answers behind.
+        the synchronous session exactly (also in the composed
+        sharded+async mode); a positive bound lets selects run against a
+        snapshot at most that many answers behind.
+    durable_dir:
+        When set, every session event (seed batches, selects, collected
+        answers) is logged to a write-ahead log in this directory with
+        periodic engine-state snapshots (see
+        :class:`~repro.service.wal.DurableSession`), so a killed run can be
+        recovered and continued bit-identically.  The directory must be
+        fresh — resuming over an old log would corrupt the experiment.
+    snapshot_every_answers:
+        Snapshot cadence for ``durable_dir`` (answers between snapshots).
+    wal_fsync:
+        Force every WAL append to disk (power-loss durability) instead of
+        the default flush-only (process-crash durability).
     """
 
     def __init__(
@@ -134,6 +149,9 @@ class CrowdsourcingSession:
         shard_workers: Optional[int] = None,
         async_refit: bool = False,
         max_stale_answers: Optional[int] = 0,
+        durable_dir=None,
+        snapshot_every_answers: int = 200,
+        wal_fsync: bool = False,
     ) -> None:
         if dataset.oracle is None or dataset.worker_pool is None:
             raise ConfigurationError(
@@ -144,20 +162,26 @@ class CrowdsourcingSession:
             raise ConfigurationError(
                 "target_answers_per_task must exceed initial_answers_per_task"
             )
-        if async_refit and shards is not None and shards > 1:
-            raise ConfigurationError(
-                "async_refit and shards are mutually exclusive; pick one "
-                "serving configuration per session"
-            )
         self._owned_policy = None
-        if shards is not None and shards > 1:
+        wants_wrapper = async_refit or (shards is not None and shards > 1)
+        if wants_wrapper and not isinstance(policy, TCrowdAssigner):
+            raise ConfigurationError(
+                "shards > 1 / async_refit require a TCrowdAssigner policy, "
+                f"got {type(policy).__name__}"
+            )
+        if async_refit and shards is not None and shards > 1:
+            from repro.engine import ShardedAsyncPolicy
+
+            policy = ShardedAsyncPolicy(
+                policy,
+                num_shards=shards,
+                max_workers=shard_workers,
+                max_stale_answers=max_stale_answers,
+            )
+            self._owned_policy = policy
+        elif shards is not None and shards > 1:
             from repro.engine import ShardedAssignmentPolicy
 
-            if not isinstance(policy, TCrowdAssigner):
-                raise ConfigurationError(
-                    "shards > 1 requires a TCrowdAssigner policy, got "
-                    f"{type(policy).__name__}"
-                )
             policy = ShardedAssignmentPolicy(
                 policy, num_shards=shards, max_workers=shard_workers
             )
@@ -165,11 +189,6 @@ class CrowdsourcingSession:
         elif async_refit:
             from repro.engine import AsyncRefitPolicy
 
-            if not isinstance(policy, TCrowdAssigner):
-                raise ConfigurationError(
-                    "async_refit requires a TCrowdAssigner policy, got "
-                    f"{type(policy).__name__}"
-                )
             policy = AsyncRefitPolicy(policy, max_stale_answers=max_stale_answers)
             self._owned_policy = policy
         self.dataset = dataset
@@ -180,6 +199,10 @@ class CrowdsourcingSession:
         self.batch_size = batch_size or dataset.schema.num_columns
         self.eval_every = float(eval_every_answers_per_task)
         self.max_steps = max_steps
+        self.durable_dir = durable_dir
+        self.snapshot_every_answers = int(snapshot_every_answers)
+        self.wal_fsync = bool(wal_fsync)
+        self.durable = None
         self._rng = as_generator(seed)
         self.arrival = WorkerArrivalProcess(
             dataset.worker_pool, seed=self._rng.integers(0, 2**31 - 1)
@@ -187,10 +210,9 @@ class CrowdsourcingSession:
 
     # -- helpers -----------------------------------------------------------------
 
-    def _seed_answers(self) -> AnswerSet:
+    def _seed_answers(self, answers: AnswerSet) -> AnswerSet:
         """Collect the initial answers (Algorithm 2, line 1): one HIT per row."""
         schema = self.dataset.schema
-        answers = AnswerSet(schema)
         pool = self.dataset.worker_pool
         worker_ids = pool.worker_ids()
         activities = pool.activities()
@@ -203,9 +225,15 @@ class CrowdsourcingSession:
             )
             for index in chosen:
                 worker = worker_ids[int(index)]
-                for col in range(schema.num_columns):
-                    value = self.dataset.oracle.answer(worker, row, col, self._rng)
-                    answers.add_answer(worker, row, col, value)
+                items = [
+                    (row, col, self.dataset.oracle.answer(worker, row, col, self._rng))
+                    for col in range(schema.num_columns)
+                ]
+                if self.durable is not None:
+                    self.durable.append_answers(worker, items, observe=False)
+                else:
+                    for r, c, value in items:
+                        answers.add_answer(worker, r, c, value)
         return answers
 
     def _evaluate(self, answers: AnswerSet, budget: Budget, trace: SessionTrace) -> None:
@@ -240,12 +268,28 @@ class CrowdsourcingSession:
             # async refit worker): release its threads.  Selects after
             # close() still work — sharded scoring just runs sequentially,
             # and the async engine only loses its background worker.
+            if self.durable is not None:
+                self.durable.close()
             if self._owned_policy is not None:
                 self._owned_policy.close()
 
     def _run(self) -> SessionTrace:
         schema = self.dataset.schema
-        answers = self._seed_answers()
+        if self.durable_dir is not None:
+            from repro.service.wal import DurableSession
+
+            self.durable = DurableSession(
+                schema,
+                self.policy,
+                directory=self.durable_dir,
+                snapshot_every=self.snapshot_every_answers,
+                fsync=self.wal_fsync,
+                fresh=True,
+            )
+            answers = self.durable.answers
+        else:
+            answers = AnswerSet(schema)
+        self._seed_answers(answers)
         extra_answers = int(
             round(
                 (self.target_answers_per_task - self.initial_answers_per_task)
@@ -278,7 +322,10 @@ class CrowdsourcingSession:
             worker = self.arrival.next_worker()
             batch = min(self.batch_size, budget.remaining_answers)
             try:
-                assignment = self.policy.select(worker, answers, k=batch)
+                if self.durable is not None:
+                    assignment = self.durable.select(worker, k=batch)
+                else:
+                    assignment = self.policy.select(worker, answers, k=batch)
             except AssignmentError:
                 # This worker has no candidate cells left; try another one,
                 # but give up if no worker can be assigned anything anymore.
@@ -287,11 +334,18 @@ class CrowdsourcingSession:
                     break
                 continue
             consecutive_failures = 0
-            for row, col in assignment.cells:
-                value = self.dataset.oracle.answer(worker, row, col, self._rng)
-                answers.add_answer(worker, row, col, value)
+            items = [
+                (row, col, self.dataset.oracle.answer(worker, row, col, self._rng))
+                for row, col in assignment.cells
+            ]
+            if self.durable is not None:
+                self.durable.append_answers(worker, items)
+            else:
+                for row, col, value in items:
+                    answers.add_answer(worker, row, col, value)
             budget.charge(len(assignment.cells))
-            self.policy.observe(answers)
+            if self.durable is None:
+                self.policy.observe(answers)
             if answers.mean_answers_per_cell() >= next_checkpoint or budget.exhausted:
                 self._evaluate(answers, budget, trace)
                 next_checkpoint += self.eval_every

@@ -1,0 +1,58 @@
+"""CLI entry point: ``python -m repro.service --port 8080``.
+
+Starts the stdlib WSGI server over a fresh :class:`SessionRegistry`.  With
+``--durable-root DIR``, sessions created with ``{"durable": true}`` persist
+their write-ahead log under ``DIR/<session_id>/`` and every durable session
+already found there is recovered before the server starts accepting
+requests.  The bound address is printed as ``listening on http://...`` —
+``--port 0`` picks an ephemeral port (used by the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.service.app import ServiceServer
+from repro.service.registry import SessionRegistry
+
+
+def build_server(argv=None) -> ServiceServer:
+    """Parse CLI options and bind the server (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 binds an ephemeral port)",
+    )
+    parser.add_argument(
+        "--durable-root", default=None,
+        help="directory for durable sessions ({'durable': true} configs); "
+        "existing sessions under it are recovered at startup",
+    )
+    args = parser.parse_args(argv)
+    registry = SessionRegistry(durable_root=args.durable_root)
+    recovered = registry.recover_all()
+    server = ServiceServer(registry, host=args.host, port=args.port)
+    for session_id in recovered:
+        print(f"recovered session {session_id}", flush=True)
+    return server
+
+
+def main(argv=None) -> int:
+    server = build_server(argv)
+    print(f"listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        print("shut down cleanly", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,404 @@
+"""Stdlib-only HTTP API over the session registry.
+
+The application is a plain WSGI callable (:func:`create_app`) served by
+``wsgiref`` with a threading mixin — no web framework, no new runtime
+dependency.  Endpoints (see ``src/repro/service/README.md`` for the full
+reference):
+
+========  ===================================  =================================
+method    path                                 action
+========  ===================================  =================================
+GET       ``/healthz``                         liveness + session count
+GET       ``/metrics``                         Prometheus text exposition
+GET/POST  ``/sessions``                        list / create (or recover)
+GET       ``/sessions/{id}``                   session status
+DELETE    ``/sessions/{id}``                   close and drop the session
+GET       ``/sessions/{id}/tasks?worker=&k=``  assign the next task batch
+POST      ``/sessions/{id}/answers``           ingest collected answers
+GET       ``/sessions/{id}/estimates``         current truth estimates
+GET       ``/sessions/{id}/workers/{worker}``  per-worker quality
+========  ===================================  =================================
+
+Error mapping: unknown session / unknown worker → 404; malformed JSON,
+malformed answers, invalid configs → 400; a worker with no assignable cell
+left → 409 (the session is simply exhausted for them); wrong method → 405.
+Every response body is JSON, errors as ``{"error": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import Counter, deque
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from socketserver import ThreadingMixIn
+
+from repro.service.registry import SessionRegistry
+from repro.utils.exceptions import (
+    AssignmentError,
+    ConfigurationError,
+    DataError,
+    DurabilityError,
+    InferenceError,
+)
+
+_STATUS = {
+    200: "200 OK",
+    201: "201 Created",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+    500: "500 Internal Server Error",
+}
+
+_SESSION_PATH = re.compile(
+    r"^/sessions/(?P<sid>[A-Za-z0-9_.-]+)"
+    r"(?:/(?P<verb>tasks|answers|estimates|workers))?"
+    r"(?:/(?P<arg>[^/]+))?$"
+)
+
+#: Window of recent select latencies the metrics endpoint summarises.
+_LATENCY_WINDOW = 1024
+
+
+class _HTTPError(Exception):
+    """Internal control flow carrying an HTTP status + message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _quantile(sorted_values, q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return float(sorted_values[rank])
+
+
+class ServiceMetrics:
+    """Thread-safe counters behind the Prometheus ``/metrics`` endpoint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: Counter = Counter()
+        self.errors: Counter = Counter()
+        self.answers_ingested = 0
+        self.selects_served = 0
+        self.select_seconds_sum = 0.0
+        self.select_latencies: deque = deque(maxlen=_LATENCY_WINDOW)
+
+    def observe_request(self, endpoint: str, status: int) -> None:
+        with self._lock:
+            self.requests[endpoint] += 1
+            if status >= 400:
+                self.errors[str(status)] += 1
+
+    def observe_select(self, seconds: float) -> None:
+        with self._lock:
+            self.selects_served += 1
+            self.select_seconds_sum += seconds
+            self.select_latencies.append(seconds)
+
+    def observe_answers(self, count: int) -> None:
+        with self._lock:
+            self.answers_ingested += count
+
+    def render(self, registry: SessionRegistry) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        with self._lock:
+            latencies = sorted(self.select_latencies)
+            lines = [
+                "# HELP repro_service_sessions_active Live sessions in the registry.",
+                "# TYPE repro_service_sessions_active gauge",
+                f"repro_service_sessions_active {len(registry)}",
+                "# HELP repro_service_requests_total HTTP requests by endpoint.",
+                "# TYPE repro_service_requests_total counter",
+            ]
+            for endpoint, count in sorted(self.requests.items()):
+                lines.append(
+                    f'repro_service_requests_total{{endpoint="{endpoint}"}} {count}'
+                )
+            lines += [
+                "# HELP repro_service_http_errors_total HTTP error responses by status.",
+                "# TYPE repro_service_http_errors_total counter",
+            ]
+            for status, count in sorted(self.errors.items()):
+                lines.append(
+                    f'repro_service_http_errors_total{{status="{status}"}} {count}'
+                )
+            lines += [
+                "# HELP repro_service_answers_ingested_total Answers accepted over HTTP.",
+                "# TYPE repro_service_answers_ingested_total counter",
+                f"repro_service_answers_ingested_total {self.answers_ingested}",
+                "# HELP repro_service_selects_served_total Task batches assigned.",
+                "# TYPE repro_service_selects_served_total counter",
+                f"repro_service_selects_served_total {self.selects_served}",
+                "# HELP repro_service_select_latency_seconds Select latency over "
+                f"the last {_LATENCY_WINDOW} requests.",
+                "# TYPE repro_service_select_latency_seconds summary",
+                'repro_service_select_latency_seconds{quantile="0.5"} '
+                f"{_quantile(latencies, 0.5):.6f}",
+                'repro_service_select_latency_seconds{quantile="0.99"} '
+                f"{_quantile(latencies, 0.99):.6f}",
+                f"repro_service_select_latency_seconds_sum {self.select_seconds_sum:.6f}",
+                f"repro_service_select_latency_seconds_count {self.selects_served}",
+            ]
+        return "\n".join(lines) + "\n"
+
+
+class ServiceApp:
+    """The WSGI application: routing, JSON codecs, error mapping."""
+
+    def __init__(self, registry: Optional[SessionRegistry] = None) -> None:
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.metrics = ServiceMetrics()
+
+    # -- WSGI entry ----------------------------------------------------------
+
+    def __call__(self, environ, start_response):
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/") or "/"
+        endpoint = "other"
+        try:
+            endpoint, status, body = self._route(method, path, environ)
+        except _HTTPError as exc:
+            status, body = exc.status, {"error": exc.message}
+        except (ConfigurationError, DataError, ValueError) as exc:
+            status, body = 400, {"error": str(exc)}
+        except KeyError as exc:
+            status, body = 404, {"error": f"Unknown resource: {exc.args[0]!r}"}
+        except AssignmentError as exc:
+            status, body = 409, {"error": str(exc)}
+        except (InferenceError, DurabilityError) as exc:
+            status, body = 500, {"error": str(exc)}
+        if isinstance(body, str):
+            payload = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = (json.dumps(body) + "\n").encode("utf-8")
+            content_type = "application/json"
+        self.metrics.observe_request(endpoint, status)
+        start_response(
+            _STATUS.get(status, _STATUS[500]),
+            [
+                ("Content-Type", content_type),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, method: str, path: str, environ) -> Tuple[str, int, object]:
+        if path == "/healthz":
+            self._require(method, "GET")
+            return "healthz", 200, {
+                "status": "ok",
+                "sessions": len(self.registry),
+            }
+        if path == "/metrics":
+            self._require(method, "GET")
+            return "metrics", 200, self.metrics.render(self.registry)
+        if path == "/sessions":
+            if method == "GET":
+                return "sessions", 200, {"sessions": self.registry.ids()}
+            self._require(method, "POST")
+            config = self._read_json(environ)
+            session = self.registry.create(config)
+            return "sessions", 201, session.stats()
+        match = _SESSION_PATH.match(path)
+        if not match:
+            raise _HTTPError(404, f"Unknown path {path!r}")
+        session = self.registry.get(match.group("sid"))
+        verb, arg = match.group("verb"), match.group("arg")
+        if verb is None:
+            if method == "DELETE":
+                self.registry.remove(session.session_id)
+                return "session", 200, {"closed": session.session_id}
+            self._require(method, "GET")
+            return "session", 200, session.stats()
+        if verb == "tasks":
+            self._require(method, "GET")
+            return "tasks", 200, self._tasks(session, environ)
+        if verb == "answers":
+            self._require(method, "POST")
+            return "answers", 200, self._answers(session, environ)
+        if verb == "estimates":
+            self._require(method, "GET")
+            return "estimates", 200, session.estimates()
+        if verb == "workers":
+            self._require(method, "GET")
+            if not arg:
+                raise _HTTPError(404, "Worker id missing from path")
+            return "workers", 200, session.worker_info(arg)
+        raise _HTTPError(404, f"Unknown path {path!r}")
+
+    # -- handlers ------------------------------------------------------------
+
+    def _tasks(self, session, environ) -> Dict[str, object]:
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+        worker = (query.get("worker") or [None])[0]
+        if not worker:
+            raise _HTTPError(400, "The 'worker' query parameter is required")
+        try:
+            k = int((query.get("k") or ["1"])[0])
+        except ValueError:
+            raise _HTTPError(400, "'k' must be an integer")
+        if k < 1:
+            raise _HTTPError(400, f"'k' must be >= 1, got {k}")
+        start = time.perf_counter()
+        assignment = session.select(worker, k=k)
+        self.metrics.observe_select(time.perf_counter() - start)
+        return {
+            "session_id": session.session_id,
+            "worker": assignment.worker,
+            "cells": [[int(row), int(col)] for row, col in assignment.cells],
+            "gains": [float(gain) for gain in assignment.gains],
+        }
+
+    def _answers(self, session, environ) -> Dict[str, object]:
+        body = self._read_json(environ)
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "The answers payload must be a JSON object")
+        worker = body.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise _HTTPError(400, "'worker' must be a non-empty string")
+        raw = body.get("answers")
+        if not isinstance(raw, list) or not raw:
+            raise _HTTPError(400, "'answers' must be a non-empty list")
+        items = []
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise _HTTPError(400, "Each answer must be an object")
+            try:
+                items.append((int(entry["row"]), int(entry["col"]), entry["value"]))
+            except (KeyError, TypeError, ValueError):
+                raise _HTTPError(
+                    400, "Each answer needs integer 'row'/'col' and a 'value'"
+                )
+        total = session.ingest(worker, items)
+        self.metrics.observe_answers(len(items))
+        return {
+            "session_id": session.session_id,
+            "accepted": len(items),
+            "answers_collected": total,
+        }
+
+    # -- plumbing ------------------------------------------------------------
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HTTPError(405, f"Use {expected} for this endpoint")
+
+    @staticmethod
+    def _read_json(environ):
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        raw = environ["wsgi.input"].read(length) if length else b""
+        if not raw:
+            raise _HTTPError(400, "A JSON request body is required")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, f"Malformed JSON body: {exc}")
+
+
+def create_app(registry: Optional[SessionRegistry] = None) -> ServiceApp:
+    """Build the WSGI application (exposed for tests and embedding)."""
+    return ServiceApp(registry)
+
+
+# -- server -------------------------------------------------------------------
+
+
+class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request; daemon threads so shutdown never hangs."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Per-request access logs are noise for a benchmark/CI server."""
+
+    def log_message(self, format, *args):  # noqa: A002 - wsgiref signature
+        pass
+
+
+class ServiceServer:
+    """A running HTTP server around one :class:`ServiceApp`.
+
+    ``port=0`` binds an ephemeral port (the one the integration tests and
+    the serving benchmark use); the bound address is ``self.address``.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.app = create_app(registry)
+        self.registry = self.app.registry
+        self._httpd = make_server(
+            host,
+            port,
+            self.app,
+            server_class=_ThreadingWSGIServer,
+            handler_class=_QuietHandler,
+        )
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    @property
+    def address(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve requests on a background thread; returns self."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving, close every session, release the socket."""
+        if self._serving:
+            # shutdown() waits on serve_forever's exit handshake and would
+            # block forever on a server that was bound but never served.
+            self._httpd.shutdown()
+            self._serving = False
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.registry.close_all()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

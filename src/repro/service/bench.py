@@ -1,0 +1,505 @@
+"""Scripted drivers behind ``benchmarks/run_bench.py --serve`` and the tests.
+
+Two measurements live here:
+
+* :func:`verify_recovery_identical` — the crash-recovery equivalence check.
+  One scripted session (the golden-trace scenario) runs uninterrupted; a
+  second runs durably, is killed mid-run (its write-ahead log optionally
+  loses a torn tail), is recovered into a fresh process-equivalent policy,
+  and is driven to completion.  The full assignment sequence and the final
+  truth estimates must match the uninterrupted run **bit for bit** — the
+  ``recovery_identical`` bit in ``BENCH_engine.json`` that CI gates on.
+
+* :func:`measure_serving` — HTTP serving throughput.  A live
+  :class:`~repro.service.app.ServiceServer` on an ephemeral port is driven
+  through a full scripted session over real HTTP (create session, seed
+  answers, select/ingest loop, estimates, metrics scrape) and the select
+  round-trip latencies are summarised as p50/p99 alongside requests/sec.
+
+The drivers share one deterministic replay trick: the scripted crowd is a
+seeded RNG, so the continuation of a recovered session *fast-forwards* the
+RNG by re-drawing every variate the crashed run already consumed — the
+logged events say exactly which draws those were (and double-check the
+redraws match what was logged).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets import load_celebrity
+from repro.service.app import ServiceServer, _quantile
+from repro.service.registry import build_policy, schema_to_dict
+from repro.service.wal import DurableSession
+from repro.utils.exceptions import AssignmentError, DurabilityError
+
+Cell = Tuple[int, int]
+
+#: The golden-trace scenario (tests/fixtures/golden_trace.json) — small
+#: enough to replay in seconds, rich enough to hit every code path.
+DEFAULT_SCENARIO = {
+    "seed": 7,
+    "num_rows": 12,
+    "target_answers_per_task": 1.5,
+    "num_shards": 3,
+    "model_kwargs": {"max_iterations": 6, "m_step_iterations": 10},
+}
+
+#: Serving-mode keys accepted by the scripted drivers.
+SERVING_MODES = ("plain", "sharded", "async", "sharded_async")
+
+
+def _serving_config(mode: str, scenario: dict) -> dict:
+    if mode == "plain":
+        return {}
+    if mode == "sharded":
+        return {"shards": scenario["num_shards"]}
+    if mode == "async":
+        return {"async_refit": True, "max_stale_answers": 0}
+    if mode == "sharded_async":
+        return {
+            "shards": scenario["num_shards"],
+            "async_refit": True,
+            "max_stale_answers": 0,
+        }
+    raise ValueError(f"Unknown serving mode {mode!r}; expected {SERVING_MODES}")
+
+
+def _build_scripted_policy(schema, mode: str, scenario: dict):
+    return build_policy(
+        schema,
+        {
+            "policy": {
+                "refit_every": 1,
+                "warm_start": True,
+                "model": scenario["model_kwargs"],
+            },
+            "serving": _serving_config(mode, scenario),
+        },
+    )
+
+
+def _extra_answers(schema, scenario: dict) -> int:
+    return int(
+        round((scenario["target_answers_per_task"] - 1.0) * schema.num_cells)
+    )
+
+
+# -- scripted durable sessions -------------------------------------------------
+
+
+def run_scripted_session(
+    mode: str = "plain",
+    directory=None,
+    crash_after_steps: Optional[int] = None,
+    snapshot_every: int = 25,
+    scenario: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Run the scripted scenario through a :class:`DurableSession`.
+
+    ``crash_after_steps`` stops mid-run *without closing anything* —
+    simulating a killed process (the WAL is flushed per event, so the disk
+    state is what a crash would leave behind).  Returns the decisions taken,
+    the final estimates (``None`` when crashed) and the session object.
+    """
+    scenario = {**DEFAULT_SCENARIO, **(scenario or {})}
+    dataset = load_celebrity(seed=scenario["seed"], num_rows=scenario["num_rows"])
+    schema = dataset.schema
+    pool = dataset.worker_pool
+    worker_ids, activities = pool.worker_ids(), pool.activities()
+    rng = np.random.default_rng(scenario["seed"])
+    policy = _build_scripted_policy(schema, mode, scenario)
+    session = DurableSession(
+        schema, policy, directory=directory, snapshot_every=snapshot_every
+    )
+
+    for row in range(schema.num_rows):
+        worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+        items = [
+            (row, col, dataset.oracle.answer(worker, row, col, rng))
+            for col in range(schema.num_columns)
+        ]
+        session.append_answers(worker, items, observe=False)
+
+    extra = _extra_answers(schema, scenario)
+    decisions: List[Tuple[str, Tuple[Cell, ...]]] = []
+    collected = steps = failures = 0
+    crashed = False
+    while collected < extra and failures < 10 * len(worker_ids):
+        worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+        batch = min(schema.num_columns, extra - collected)
+        try:
+            assignment = session.select(worker, k=batch)
+        except AssignmentError:
+            failures += 1
+            continue
+        failures = 0
+        items = [
+            (row, col, dataset.oracle.answer(worker, row, col, rng))
+            for row, col in assignment.cells
+        ]
+        session.append_answers(worker, items)
+        decisions.append((worker, assignment.cells))
+        collected += len(items)
+        steps += 1
+        if crash_after_steps is not None and steps >= crash_after_steps:
+            crashed = True
+            break
+
+    estimates = None
+    if not crashed:
+        result = session.estimates()
+        estimates = {
+            (row, col): result.estimate(row, col)
+            for row in range(schema.num_rows)
+            for col in range(schema.num_columns)
+        }
+        session.close()
+    return {
+        "decisions": decisions,
+        "estimates": estimates,
+        "session": session,
+        "crashed": crashed,
+    }
+
+
+def continue_scripted_session(
+    mode: str = "plain",
+    directory=None,
+    snapshot_every: int = 25,
+    scenario: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Recover a crashed scripted session and drive it to completion.
+
+    The recovered prefix (decisions reconstructed from the log) plus the
+    live continuation must reproduce an uninterrupted run exactly; the RNG
+    is fast-forwarded by re-drawing every variate the crashed run consumed,
+    asserting each redraw against the logged value.
+    """
+    scenario = {**DEFAULT_SCENARIO, **(scenario or {})}
+    dataset = load_celebrity(seed=scenario["seed"], num_rows=scenario["num_rows"])
+    schema = dataset.schema
+    pool = dataset.worker_pool
+    worker_ids, activities = pool.worker_ids(), pool.activities()
+    rng = np.random.default_rng(scenario["seed"])
+    policy = _build_scripted_policy(schema, mode, scenario)
+    session = DurableSession(
+        schema, policy, directory=directory, snapshot_every=snapshot_every
+    )
+
+    decisions: List[Tuple[str, Tuple[Cell, ...]]] = []
+    collected = 0
+    for record in session.events:
+        kind = record.get("t")
+        if kind == "select":
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            if worker != record["w"]:
+                raise DurabilityError(
+                    "RNG fast-forward diverged from the logged select "
+                    f"({worker!r} != {record['w']!r}); the WAL was not "
+                    "produced by this scenario"
+                )
+        elif kind == "answers":
+            worker = record["w"]
+            if record.get("o", True):
+                decisions.append(
+                    (
+                        worker,
+                        tuple((int(r), int(c)) for r, c, _v in record["a"]),
+                    )
+                )
+                collected += len(record["a"])
+            else:
+                # Seed batches drew their worker before their values.
+                drawn = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+                if drawn != worker:
+                    raise DurabilityError(
+                        "RNG fast-forward diverged from the logged seed batch"
+                    )
+            for row, col, value in record["a"]:
+                redrawn = dataset.oracle.answer(worker, int(row), int(col), rng)
+                if redrawn != value and float(redrawn) != float(value):
+                    raise DurabilityError(
+                        "RNG fast-forward diverged from a logged answer value"
+                    )
+
+    extra = _extra_answers(schema, scenario)
+    failures = 0
+    pending = session.dangling_select()
+    while collected < extra and failures < 10 * len(worker_ids):
+        if pending is not None:
+            # The crash lost the answers of an already-logged select: the
+            # replay restored its refit, so re-issue it for the same worker
+            # instead of drawing a new one.
+            worker, batch = pending
+            pending = None
+        else:
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            batch = min(schema.num_columns, extra - collected)
+        batch = min(batch, extra - collected)
+        try:
+            assignment = session.select(worker, k=batch)
+        except AssignmentError:
+            failures += 1
+            continue
+        failures = 0
+        items = [
+            (row, col, dataset.oracle.answer(worker, row, col, rng))
+            for row, col in assignment.cells
+        ]
+        session.append_answers(worker, items)
+        decisions.append((worker, assignment.cells))
+        collected += len(items)
+
+    result = session.estimates()
+    estimates = {
+        (row, col): result.estimate(row, col)
+        for row in range(schema.num_rows)
+        for col in range(schema.num_columns)
+    }
+    session.close()
+    return {
+        "decisions": decisions,
+        "estimates": estimates,
+        "session": session,
+        "replayed_records": session.replayed_records,
+        "recovered_epoch": session.recovered_epoch,
+    }
+
+
+def verify_recovery_identical(
+    mode: str = "plain",
+    directory=None,
+    crash_after_steps: int = 3,
+    truncate_bytes: int = 7,
+    snapshot_every: int = 25,
+    scenario: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Crash, truncate, recover, continue — and compare bit for bit.
+
+    ``directory`` must be empty/fresh; pass a temporary directory.  Returns
+    the comparison bits plus recovery diagnostics.
+    """
+    import pathlib
+    import tempfile
+
+    owns_dir = directory is None
+    if owns_dir:
+        directory = tempfile.mkdtemp(prefix="repro-recovery-")
+    directory = pathlib.Path(directory)
+    baseline = run_scripted_session(mode, scenario=scenario)
+    crashed = run_scripted_session(
+        mode,
+        directory=directory,
+        crash_after_steps=crash_after_steps,
+        snapshot_every=snapshot_every,
+        scenario=scenario,
+    )
+    # Simulate the kill: drop the in-memory engine (its threads at most),
+    # then tear a few bytes off the log tail — a write cut mid-record.
+    close = getattr(crashed["session"].policy, "close", None)
+    if close is not None:
+        close()
+    wal_path = directory / "wal.jsonl"
+    if truncate_bytes:
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[: -int(truncate_bytes)])
+    continued = continue_scripted_session(
+        mode, directory=directory, snapshot_every=snapshot_every,
+        scenario=scenario,
+    )
+    decisions_identical = continued["decisions"] == baseline["decisions"]
+    estimates_identical = continued["estimates"] == baseline["estimates"]
+    summary = {
+        "recovery_mode": mode,
+        "recovery_identical": bool(decisions_identical and estimates_identical),
+        "recovery_decisions_identical": bool(decisions_identical),
+        "recovery_estimates_identical": bool(estimates_identical),
+        "recovery_steps_before_crash": int(crash_after_steps),
+        "recovery_truncated_bytes": int(truncate_bytes),
+        "recovery_replayed_records": continued["replayed_records"],
+        "recovery_snapshot_epoch": continued["recovered_epoch"],
+        "recovery_total_steps": len(baseline["decisions"]),
+    }
+    if owns_dir:
+        import shutil
+
+        shutil.rmtree(directory, ignore_errors=True)
+    return summary
+
+
+# -- HTTP client ---------------------------------------------------------------
+
+
+class ServiceClient:
+    """Minimal stdlib HTTP client for the service API.
+
+    :meth:`request` never raises on HTTP errors — it returns
+    ``(status, body)`` so tests can assert on 4xx responses; the
+    convenience wrappers raise :class:`RuntimeError` on any non-2xx.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, payload=None):
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                status, raw = resp.status, resp.read()
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            status, raw = exc.code, exc.read()
+            content_type = exc.headers.get("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return status, json.loads(raw.decode("utf-8"))
+        return status, raw.decode("utf-8")
+
+    def _expect(self, method: str, path: str, payload=None):
+        status, body = self.request(method, path, payload)
+        if status >= 300:
+            raise RuntimeError(f"{method} {path} failed with {status}: {body}")
+        return body
+
+    def create_session(self, config: dict) -> dict:
+        return self._expect("POST", "/sessions", config)
+
+    def get_tasks(self, session_id: str, worker: str, k: int = 1):
+        return self.request(
+            "GET", f"/sessions/{session_id}/tasks?worker={worker}&k={k}"
+        )
+
+    def post_answers(self, session_id: str, worker: str, items) -> dict:
+        payload = {
+            "worker": worker,
+            "answers": [
+                {"row": int(row), "col": int(col), "value": value}
+                for row, col, value in items
+            ],
+        }
+        return self._expect("POST", f"/sessions/{session_id}/answers", payload)
+
+    def get_estimates(self, session_id: str) -> dict:
+        return self._expect("GET", f"/sessions/{session_id}/estimates")
+
+    def get_metrics(self) -> str:
+        return self._expect("GET", "/metrics")
+
+    def healthz(self) -> dict:
+        return self._expect("GET", "/healthz")
+
+    def delete_session(self, session_id: str) -> dict:
+        return self._expect("DELETE", f"/sessions/{session_id}")
+
+
+# -- HTTP serving benchmark ----------------------------------------------------
+
+
+def measure_serving(
+    seed: int = 7,
+    num_rows: int = 24,
+    target_answers_per_task: float = 1.6,
+    model_kwargs: Optional[dict] = None,
+    serving: Optional[dict] = None,
+    durable_dir=None,
+    snapshot_every: int = 200,
+) -> Dict[str, object]:
+    """Drive one scripted session over live HTTP; record throughput/latency.
+
+    Starts an in-process :class:`ServiceServer` on an ephemeral port, runs
+    the scripted crowd against it (every select and every answer batch is a
+    real HTTP round trip) and summarises requests/sec plus the p50/p99
+    select latency.  The numbers land in ``BENCH_engine.json`` as
+    ``serve_requests_per_sec`` / ``serve_select_p50_ms`` /
+    ``serve_select_p99_ms`` and feed the CI serve-throughput floor.
+    """
+    dataset = load_celebrity(seed=seed, num_rows=num_rows)
+    schema = dataset.schema
+    pool = dataset.worker_pool
+    worker_ids, activities = pool.worker_ids(), pool.activities()
+    rng = np.random.default_rng(seed)
+    config = {
+        "schema": schema_to_dict(schema),
+        "policy": {
+            "refit_every": 1,
+            "warm_start": True,
+            "model": dict(
+                model_kwargs or {"max_iterations": 6, "m_step_iterations": 10}
+            ),
+        },
+        "serving": dict(serving or {}),
+        "snapshot_every": snapshot_every,
+    }
+    if durable_dir is not None:
+        config["durable_dir"] = str(durable_dir)
+
+    extra = int(round((target_answers_per_task - 1.0) * schema.num_cells))
+    select_seconds: List[float] = []
+    requests_total = 0
+    with ServiceServer() as server:
+        client = ServiceClient(server.address)
+        session_id = client.create_session(config)["session_id"]
+        requests_total += 1
+        start = time.perf_counter()
+        for row in range(schema.num_rows):
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            items = [
+                (row, col, dataset.oracle.answer(worker, row, col, rng))
+                for col in range(schema.num_columns)
+            ]
+            client.post_answers(session_id, worker, items)
+            requests_total += 1
+        collected = failures = 0
+        while collected < extra and failures < 10 * len(worker_ids):
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            batch = min(schema.num_columns, extra - collected)
+            before = time.perf_counter()
+            status, body = client.get_tasks(session_id, worker, k=batch)
+            select_seconds.append(time.perf_counter() - before)
+            requests_total += 1
+            if status == 409:
+                failures += 1
+                continue
+            if status != 200:
+                raise RuntimeError(f"tasks request failed with {status}: {body}")
+            failures = 0
+            items = [
+                (row, col, dataset.oracle.answer(worker, row, col, rng))
+                for row, col in body["cells"]
+            ]
+            client.post_answers(session_id, worker, items)
+            requests_total += 1
+            collected += len(items)
+        estimates = client.get_estimates(session_id)
+        requests_total += 1
+        elapsed = time.perf_counter() - start
+        metrics_text = client.get_metrics()
+        client.delete_session(session_id)
+
+    latencies = sorted(select_seconds)
+    return {
+        "serve_num_rows": num_rows,
+        "serve_target_answers_per_task": target_answers_per_task,
+        "serve_requests_total": requests_total,
+        "serve_seconds": elapsed,
+        "serve_requests_per_sec": requests_total / max(elapsed, 1e-12),
+        "serve_select_p50_ms": _quantile(latencies, 0.50) * 1000.0,
+        "serve_select_p99_ms": _quantile(latencies, 0.99) * 1000.0,
+        "serve_answers_collected": estimates["answers_collected"],
+        "serve_metrics_scraped": "repro_service_selects_served_total"
+        in metrics_text,
+    }

@@ -1,0 +1,461 @@
+"""Multi-tenant session registry and the JSON codecs of the service API.
+
+The registry owns every live :class:`ServedSession` of one server process.
+Concurrency discipline:
+
+* the **registry lock** guards only the id → session map (create / get /
+  remove are O(1) critical sections);
+* each session carries its **own** re-entrant lock, taken around every
+  session operation (select, ingest, estimates, worker lookup).  The
+  engine policies are single-session objects and not thread-safe against
+  concurrent mutation, so the per-session lock serialises requests *within*
+  a session while different sessions proceed fully in parallel — the same
+  partitioning the sharded engine applies one level down.
+
+Sessions are described by a JSON config (see :func:`build_policy`): a schema
+(inline, or named dataset), the assigner knobs, and the serving mode —
+plain incremental, sharded, async-refit, or the composed sharded+async
+policy.  Durable sessions pin their config to ``session.json`` inside the
+durable directory; :meth:`SessionRegistry.create` with such a directory
+*recovers* the session (write-ahead-log replay, see
+:mod:`repro.service.wal`) instead of creating a fresh one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import threading
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assignment import TCrowdAssigner
+from repro.core.inference import TCrowdModel
+from repro.core.schema import Column, TableSchema
+from repro.service.wal import DurableSession
+from repro.utils.exceptions import ConfigurationError, ReproError
+from repro.utils.validation import require_positive
+
+#: Loaders a ``{"dataset": {"name": ...}}`` spec may reference.
+_DATASET_LOADERS = {
+    "celebrity": "load_celebrity",
+    "emotion": "load_emotion",
+    "restaurant": "load_restaurant",
+    "synthetic": "generate_synthetic",
+}
+
+
+# -- schema codec -------------------------------------------------------------
+
+
+def schema_to_dict(schema: TableSchema) -> dict:
+    """JSON-safe description of a :class:`TableSchema`."""
+    columns = []
+    for column in schema.columns:
+        if column.is_categorical:
+            columns.append(
+                {
+                    "name": column.name,
+                    "type": "categorical",
+                    "labels": list(column.labels),
+                }
+            )
+        else:
+            columns.append(
+                {
+                    "name": column.name,
+                    "type": "continuous",
+                    "domain": list(column.domain) if column.domain else None,
+                }
+            )
+    return {
+        "entity_attribute": schema.entity_attribute,
+        "num_rows": schema.num_rows,
+        "columns": columns,
+    }
+
+
+def schema_from_dict(payload: dict) -> TableSchema:
+    """Rebuild the :class:`TableSchema` described by :func:`schema_to_dict`."""
+    try:
+        columns = []
+        for spec in payload["columns"]:
+            kind = spec.get("type")
+            if kind == "categorical":
+                columns.append(
+                    Column.categorical(spec["name"], tuple(spec["labels"]))
+                )
+            elif kind == "continuous":
+                domain = spec.get("domain") or ()
+                columns.append(Column.continuous(spec["name"], tuple(domain)))
+            else:
+                raise ConfigurationError(
+                    f"Unknown column type {kind!r} (expected 'categorical' "
+                    "or 'continuous')"
+                )
+        return TableSchema.build(
+            payload["entity_attribute"], columns, int(payload["num_rows"])
+        )
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"Malformed schema payload: {exc}") from exc
+
+
+def resolve_schema(config: dict) -> TableSchema:
+    """Schema of a session config: inline ``schema`` or a named ``dataset``."""
+    if "schema" in config:
+        return schema_from_dict(config["schema"])
+    if "dataset" in config:
+        spec = dict(config["dataset"])
+        name = spec.pop("name", None)
+        loader_name = _DATASET_LOADERS.get(name)
+        if loader_name is None:
+            raise ConfigurationError(
+                f"Unknown dataset {name!r}; expected one of "
+                f"{sorted(_DATASET_LOADERS)}"
+            )
+        import repro.datasets as datasets
+
+        try:
+            return getattr(datasets, loader_name)(**spec).schema
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"Invalid options for dataset {name!r}: {exc}"
+            ) from exc
+    raise ConfigurationError(
+        "A session config needs either 'schema' (inline columns) or "
+        "'dataset' (a named loader)"
+    )
+
+
+# -- policy construction ------------------------------------------------------
+
+
+def build_policy(schema: TableSchema, config: dict):
+    """Build the serving policy a session config describes.
+
+    ``config["policy"]`` configures the underlying
+    :class:`~repro.core.assignment.TCrowdAssigner` (and its
+    :class:`~repro.core.inference.TCrowdModel` via the ``model`` key);
+    ``config["serving"]`` picks the serving mode:
+
+    ========================  =============================================
+    ``shards`` / ``async_refit``  policy served
+    ========================  =============================================
+    unset / false             the plain incremental assigner
+    ``shards`` > 1 only       :class:`~repro.engine.ShardedAssignmentPolicy`
+    ``async_refit`` only      :class:`~repro.engine.AsyncRefitPolicy`
+    both                      :class:`~repro.engine.ShardedAsyncPolicy`
+    ========================  =============================================
+    """
+    policy_config = dict(config.get("policy") or {})
+    model_config = dict(policy_config.pop("model", None) or {})
+    try:
+        model = TCrowdModel(**model_config)
+    except TypeError as exc:
+        raise ConfigurationError(f"Invalid model options: {exc}") from exc
+    try:
+        assigner = TCrowdAssigner(schema, model=model, **policy_config)
+    except TypeError as exc:
+        raise ConfigurationError(f"Invalid policy options: {exc}") from exc
+
+    serving = dict(config.get("serving") or {})
+    shards = serving.get("shards")
+    shard_workers = serving.get("shard_workers")
+    async_refit = bool(serving.get("async_refit", False))
+    max_stale = serving.get("max_stale_answers", 0)
+    if shards is not None and int(shards) > 1 and async_refit:
+        from repro.engine import ShardedAsyncPolicy
+
+        return ShardedAsyncPolicy(
+            assigner,
+            num_shards=int(shards),
+            max_workers=shard_workers,
+            max_stale_answers=max_stale,
+        )
+    if shards is not None and int(shards) > 1:
+        from repro.engine import ShardedAssignmentPolicy
+
+        return ShardedAssignmentPolicy(
+            assigner, num_shards=int(shards), max_workers=shard_workers
+        )
+    if async_refit:
+        from repro.engine import AsyncRefitPolicy
+
+        return AsyncRefitPolicy(assigner, max_stale_answers=max_stale)
+    return assigner
+
+
+# -- served session -----------------------------------------------------------
+
+
+class ServedSession:
+    """One live session: policy + answers + WAL behind a per-session lock."""
+
+    def __init__(
+        self,
+        session_id: str,
+        schema: TableSchema,
+        config: dict,
+        durable: DurableSession,
+    ) -> None:
+        self.session_id = session_id
+        self.schema = schema
+        self.config = config
+        self.durable = durable
+        self.lock = threading.RLock()
+        self.selects_served = 0
+        self.answers_ingested = 0
+        self.estimate_requests = 0
+
+    # -- operations (each one critical-sectioned on the session lock) --------
+
+    def select(self, worker: str, k: int = 1):
+        """Assign the next ``k`` cells to ``worker``."""
+        with self.lock:
+            assignment = self.durable.select(worker, k=k)
+            self.selects_served += 1
+            return assignment
+
+    def ingest(self, worker: str, items: Sequence[Tuple[int, int, object]]) -> int:
+        """Record a batch of collected answers; return the new total."""
+        with self.lock:
+            total = self.durable.append_answers(worker, items)
+            self.answers_ingested += len(items)
+            return total
+
+    def estimates(self) -> Dict[str, object]:
+        """Current truth estimates for every cell (triggers a catch-up fit)."""
+        with self.lock:
+            result = self.durable.estimates()
+            self.estimate_requests += 1
+            estimates = {
+                f"{row},{col}": result.estimate(row, col)
+                for row in range(self.schema.num_rows)
+                for col in range(self.schema.num_columns)
+            }
+            return {
+                "session_id": self.session_id,
+                "answers_collected": len(self.durable.answers),
+                "mean_answers_per_cell": self.durable.answers.mean_answers_per_cell(),
+                "estimates": estimates,
+            }
+
+    def worker_info(self, worker: str) -> Dict[str, object]:
+        """Answer count and estimated quality of one known worker.
+
+        Raises :class:`KeyError` for a worker that never contributed an
+        answer to this session (the API's 404).
+        """
+        with self.lock:
+            answers = self.durable.answers
+            if worker not in answers.workers:
+                raise KeyError(worker)
+            result = getattr(self.durable.policy, "last_result", None)
+            quality = None
+            variance = None
+            if result is not None and result.has_worker(worker):
+                quality = float(result.worker_quality(worker))
+                variance = float(result.worker_variance(worker))
+            return {
+                "session_id": self.session_id,
+                "worker": worker,
+                "answers": len(answers.answers_by_worker(worker)),
+                "quality": quality,
+                "variance": variance,
+            }
+
+    def stats(self) -> Dict[str, object]:
+        """Status summary (the session resource representation)."""
+        with self.lock:
+            answers = self.durable.answers
+            return {
+                "session_id": self.session_id,
+                "policy": self.durable.policy.name,
+                "num_rows": self.schema.num_rows,
+                "num_columns": self.schema.num_columns,
+                "answers_collected": len(answers),
+                "workers": answers.num_workers,
+                "mean_answers_per_cell": answers.mean_answers_per_cell(),
+                "selects_served": self.selects_served,
+                "answers_ingested": self.answers_ingested,
+                "estimate_requests": self.estimate_requests,
+                "durable": self.durable.durable,
+                "wal_records": self.durable.wal_records,
+                "snapshots_written": self.durable.snapshots_written,
+                "recovered_epoch": self.durable.recovered_epoch,
+            }
+
+    def close(self) -> None:
+        """Snapshot, close the log, release the policy's threads."""
+        with self.lock:
+            self.durable.close()
+
+
+# -- registry -----------------------------------------------------------------
+
+
+class SessionRegistry:
+    """The id → :class:`ServedSession` map of one server process.
+
+    Parameters
+    ----------
+    durable_root:
+        Optional directory under which sessions created with
+        ``{"durable": true}`` get their per-session subdirectory.  Explicit
+        ``{"durable_dir": ...}`` configs work without it.
+    """
+
+    def __init__(self, durable_root=None) -> None:
+        self.durable_root = (
+            None if durable_root is None else pathlib.Path(durable_root)
+        )
+        self._sessions: Dict[str, ServedSession] = {}
+        self._lock = threading.Lock()
+
+    # -- lookup --------------------------------------------------------------
+
+    def ids(self) -> List[str]:
+        """Ids of every live session."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def get(self, session_id: str) -> ServedSession:
+        """The live session with this id (raises :class:`KeyError`)."""
+        with self._lock:
+            return self._sessions[session_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- creation / recovery -------------------------------------------------
+
+    def create(self, config: dict) -> ServedSession:
+        """Create (or recover) a session from its JSON config."""
+        if not isinstance(config, dict):
+            raise ConfigurationError("The session config must be a JSON object")
+        config = dict(config)
+        durable_dir = self._resolve_durable_dir(config)
+        if durable_dir is not None and (durable_dir / "session.json").exists():
+            return self._register(self._recover(durable_dir))
+        session_id = config.pop("session_id", None) or uuid.uuid4().hex[:12]
+        if durable_dir is None and config.pop("durable", False):
+            raise ConfigurationError(
+                "durable=true needs the server's --durable-root (or an "
+                "explicit durable_dir in the session config)"
+            )
+        session = self._build(session_id, config, durable_dir)
+        if durable_dir is not None:
+            manifest = {
+                "format": 1,
+                "session_id": session_id,
+                "schema": schema_to_dict(session.schema),
+                "config": {
+                    key: value
+                    for key, value in config.items()
+                    if key in ("policy", "serving", "snapshot_every", "fsync")
+                },
+            }
+            (durable_dir / "session.json").write_text(
+                json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+            )
+        return self._register(session)
+
+    def recover_all(self) -> List[str]:
+        """Recover every durable session found under ``durable_root``.
+
+        One corrupt directory must not take the healthy sessions (or the
+        whole server boot) down with it: per-directory failures are
+        reported to stderr and skipped.
+        """
+        if self.durable_root is None or not self.durable_root.exists():
+            return []
+        recovered = []
+        for path in sorted(self.durable_root.iterdir()):
+            if not (path / "session.json").exists():
+                continue
+            try:
+                recovered.append(self._register(self._recover(path)).session_id)
+            except ReproError as exc:
+                print(
+                    f"warning: skipping unrecoverable session directory "
+                    f"{path}: {exc}",
+                    file=sys.stderr,
+                )
+        return recovered
+
+    def _resolve_durable_dir(self, config: dict) -> Optional[pathlib.Path]:
+        explicit = config.get("durable_dir")
+        if explicit:
+            return pathlib.Path(explicit)
+        if config.get("durable"):
+            if self.durable_root is None:
+                return None  # create() raises the descriptive error
+            session_id = config.get("session_id") or uuid.uuid4().hex[:12]
+            config["session_id"] = session_id
+            return self.durable_root / session_id
+        return None
+
+    def _recover(self, durable_dir: pathlib.Path) -> ServedSession:
+        try:
+            manifest = json.loads(
+                (durable_dir / "session.json").read_text(encoding="utf-8")
+            )
+            session_id = manifest["session_id"]
+            config = dict(manifest.get("config") or {})
+            config["schema"] = manifest["schema"]
+        except (OSError, ValueError, KeyError) as exc:
+            raise ConfigurationError(
+                f"Cannot recover session manifest in {durable_dir}: {exc}"
+            ) from exc
+        with self._lock:
+            if session_id in self._sessions:
+                return self._sessions[session_id]
+        return self._build(session_id, config, durable_dir)
+
+    def _build(
+        self,
+        session_id: str,
+        config: dict,
+        durable_dir: Optional[pathlib.Path],
+    ) -> ServedSession:
+        schema = resolve_schema(config)
+        policy = build_policy(schema, config)
+        snapshot_every = int(config.get("snapshot_every", 200))
+        require_positive(snapshot_every, "snapshot_every")
+        durable = DurableSession(
+            schema,
+            policy,
+            directory=durable_dir,
+            snapshot_every=snapshot_every,
+            fsync=bool(config.get("fsync", False)),
+        )
+        return ServedSession(session_id, schema, config, durable)
+
+    def _register(self, session: ServedSession) -> ServedSession:
+        with self._lock:
+            existing = self._sessions.get(session.session_id)
+            if existing is not None and existing is not session:
+                session.close()
+                raise ConfigurationError(
+                    f"Session id {session.session_id!r} is already live"
+                )
+            self._sessions[session.session_id] = session
+        return session
+
+    # -- teardown ------------------------------------------------------------
+
+    def remove(self, session_id: str) -> None:
+        """Close one session and drop it (raises :class:`KeyError`)."""
+        with self._lock:
+            session = self._sessions.pop(session_id)
+        session.close()
+
+    def close_all(self) -> None:
+        """Close every session (server shutdown)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()

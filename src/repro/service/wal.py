@@ -1,0 +1,668 @@
+"""Durable crowd sessions: write-ahead answer log + engine-state snapshots.
+
+A live serving session must survive its process.  The durability model is
+the classic pair:
+
+* **Write-ahead log** (:class:`WriteAheadLog`) — one JSONL record per
+  session *event*, appended (and flushed) before the event is applied to
+  the in-memory engine.  Three event types exist: ``answers`` (a batch of
+  collected answers, optionally followed by a model ``observe``),
+  ``select`` (a task request — logged because selects can trigger refits,
+  which are part of the warm-start EM chain) and ``estimates`` (a full
+  catch-up fit — same reason).  A torn final write (partial line) is
+  detected and dropped on recovery, and the file is truncated back to the
+  last complete record before new appends.
+
+* **Snapshots** (:class:`SnapshotStore`) — periodic engine-state files
+  keyed by ``(epoch, answers_seen)``: the serialized
+  :class:`~repro.core.inference.InferenceResult` of the latest refit plus
+  the WAL position they cover.  Snapshots are written atomically
+  (tmp + rename) and are pure *accelerators*: recovery without any
+  snapshot replays the whole log from record zero and reaches the same
+  state.
+
+**Replay is bit-identical.**  Everything the engine does is a
+deterministic function of the event sequence: answers are append-only,
+refits are deterministic EM (warm-started from the previous result), and
+selection is a deterministic ranking.  Recovery therefore rebuilds the
+exact session: the :class:`~repro.engine.SessionState` /
+:class:`~repro.engine.ShardedSessionState` indexes (re-synced from the
+recovered answers), the answer set, and the model's warm-start chain —
+either by re-seating a snapshot's serialized result
+(:func:`serialize_result` round-trips every float exactly) and replaying
+the WAL tail with full side effects, or by replaying the whole log.  The
+continued assignment sequence matches an uninterrupted run bit for bit —
+the property ``benchmarks/run_bench.py --serve`` records as
+``recovery_identical`` and CI gates on.  (The guarantee assumes a
+deterministic serving mode: the synchronous/sharded policies, or the
+async ones at ``max_stale_answers=0``.  With a positive staleness bound,
+background refit *timing* is nondeterministic, so replay reproduces a
+valid execution of the same session rather than the exact one observed.)
+
+Snapshot-epoch protocol: epochs increase by one per snapshot and never
+reuse a number, so ``snapshot-<epoch>-<answers_seen>.json`` names are
+totally ordered and immutable once written — the same property that lets
+:class:`~repro.engine.ModelSnapshot` cross thread boundaries lets these
+files cross *process* boundaries, which is the staging ground for
+process-level sharding (one recovered engine per shard group).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.answers import AnswerSet
+from repro.core.inference import InferenceResult
+from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
+from repro.core.schema import TableSchema
+from repro.core.worker_model import WorkerModel
+from repro.utils.exceptions import (
+    AssignmentError,
+    ConfigurationError,
+    DurabilityError,
+)
+
+Cell = Tuple[int, int]
+
+#: Bump when the WAL / snapshot record layout changes incompatibly.
+FORMAT_VERSION = 1
+
+_SNAPSHOT_NAME = re.compile(r"^snapshot-(\d+)-(\d+)\.json$")
+
+
+# -- model-state codec --------------------------------------------------------
+
+
+def serialize_result(result: InferenceResult) -> dict:
+    """Serialize an :class:`InferenceResult` to a JSON-safe dict, exactly.
+
+    Every float goes through Python's ``repr``-based JSON encoding, which
+    round-trips IEEE-754 doubles bit for bit; categorical posteriors are
+    restored without renormalisation
+    (:meth:`~repro.core.posteriors.CategoricalPosterior.from_normalized`),
+    so ``deserialize_result(serialize_result(r), r.schema)`` reproduces the
+    result's arrays and posteriors to the last bit — the precondition for
+    replaying the warm-start chain identically after recovery.
+    """
+    posteriors = []
+    for (row, col), posterior in result.posteriors.items():
+        if posterior.is_categorical:
+            payload = [float(p) for p in posterior.probs]
+            kind = "c"
+        else:
+            payload = [float(posterior.mean), float(posterior.variance)]
+            kind = "g"
+        posteriors.append([int(row), int(col), kind, payload])
+    return {
+        "epsilon": float(result.worker_model.epsilon),
+        "worker_ids": list(result.worker_ids),
+        "alpha": [float(x) for x in result.alpha],
+        "beta": [float(x) for x in result.beta],
+        "phi": [float(x) for x in result.phi],
+        "column_scale": [float(x) for x in result.column_scale],
+        "column_offset": [float(x) for x in result.column_offset],
+        "posteriors": posteriors,
+        "objective_trace": [float(x) for x in result.objective_trace],
+        "n_iterations": int(result.n_iterations),
+        "converged": bool(result.converged),
+        "stopped_by": str(result.stopped_by),
+    }
+
+
+def deserialize_result(payload: dict, schema: TableSchema) -> InferenceResult:
+    """Rebuild the :class:`InferenceResult` serialized by :func:`serialize_result`."""
+    posteriors = {}
+    for row, col, kind, data in payload["posteriors"]:
+        row, col = int(row), int(col)
+        if kind == "c":
+            posteriors[(row, col)] = CategoricalPosterior.from_normalized(
+                schema.columns[col].labels, np.asarray(data, dtype=float)
+            )
+        elif kind == "g":
+            posteriors[(row, col)] = GaussianPosterior(
+                float(data[0]), float(data[1])
+            )
+        else:
+            raise DurabilityError(f"Unknown posterior kind {kind!r} in snapshot")
+    return InferenceResult(
+        schema=schema,
+        worker_model=WorkerModel(float(payload["epsilon"])),
+        worker_ids=list(payload["worker_ids"]),
+        alpha=np.asarray(payload["alpha"], dtype=float),
+        beta=np.asarray(payload["beta"], dtype=float),
+        phi=np.asarray(payload["phi"], dtype=float),
+        column_scale=np.asarray(payload["column_scale"], dtype=float),
+        column_offset=np.asarray(payload["column_offset"], dtype=float),
+        posteriors=posteriors,
+        objective_trace=list(payload["objective_trace"]),
+        n_iterations=int(payload["n_iterations"]),
+        converged=bool(payload["converged"]),
+        stopped_by=str(payload["stopped_by"]),
+    )
+
+
+# -- write-ahead log ----------------------------------------------------------
+
+
+def read_wal(path: pathlib.Path) -> Tuple[List[dict], int]:
+    """Read every complete record of a WAL file.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the offset
+    one past the last complete record.  A torn tail — a final line without
+    its newline, or one that no longer parses as JSON — is dropped, as is
+    everything after it (a corrupt middle record invalidates the rest of
+    the log: later records may depend on the lost event).
+    """
+    records: List[dict] = []
+    valid_bytes = 0
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return records, valid_bytes
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            break  # torn tail: record written without its terminator
+        line = data[offset:newline]
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            break  # corrupt record: drop it and everything after
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = newline + 1
+        valid_bytes = offset
+    return records, valid_bytes
+
+
+class WriteAheadLog:
+    """Append-only JSONL event log with torn-tail recovery.
+
+    Opening an existing file truncates it back to its last complete record
+    (so a torn write can never merge with the next append) and resumes the
+    record count from there.  ``fsync=True`` forces every append to disk —
+    full power-loss durability at a heavy per-event cost; the default
+    flush-only mode survives process crashes, which is the failure model
+    the recovery benchmark exercises.
+
+    The on-disk file is the source of truth: only the record count and the
+    newest record are held in memory, so a long-lived session's log costs
+    O(1) memory regardless of how many events it serves.
+    """
+
+    def __init__(self, path, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.fsync = bool(fsync)
+        records, valid_bytes = read_wal(self.path)
+        self._count = len(records)
+        self._last_record: Optional[dict] = records[-1] if records else None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        if self._file.tell() != valid_bytes:
+            self._file.truncate(valid_bytes)
+            self._file.seek(valid_bytes)
+        self._closed = False
+
+    @property
+    def record_count(self) -> int:
+        """Number of complete records in the log."""
+        return self._count
+
+    @property
+    def last_record(self) -> Optional[dict]:
+        """The newest complete record (``None`` on an empty log)."""
+        return self._last_record
+
+    @property
+    def records(self) -> List[dict]:
+        """All complete records, oldest first — re-read from disk.
+
+        Every append was flushed before it was counted, so the read always
+        sees at least ``record_count`` records.
+        """
+        return read_wal(self.path)[0]
+
+    def append(self, record: dict) -> int:
+        """Durably append one record; return its index."""
+        if self._closed:
+            raise DurabilityError(f"WAL {self.path} is closed")
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self._file.write(line.encode("utf-8"))
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._count += 1
+        self._last_record = record
+        return self._count - 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._file.close()
+
+
+# -- snapshots ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One loaded snapshot file (see the module docs for the protocol)."""
+
+    epoch: int
+    answers_seen: int
+    wal_records: int
+    payload: dict
+    path: pathlib.Path
+
+
+class SnapshotStore:
+    """Atomic, epoch-ordered engine-state snapshot files in one directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def save(self, payload: dict) -> pathlib.Path:
+        """Write one snapshot atomically; return its path."""
+        epoch = int(payload["epoch"])
+        answers_seen = int(payload["answers_seen"])
+        name = f"snapshot-{epoch:06d}-{answers_seen:08d}.json"
+        path = self.directory / name
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def _entries(self) -> List[Tuple[int, int, pathlib.Path]]:
+        found = []
+        for path in self.directory.iterdir():
+            match = _SNAPSHOT_NAME.match(path.name)
+            if match:
+                found.append((int(match.group(1)), int(match.group(2)), path))
+        return sorted(found, key=lambda entry: (entry[0], entry[1]))
+
+    def paths(self) -> List[pathlib.Path]:
+        """Snapshot files, oldest epoch first."""
+        return [path for _epoch, _seen, path in self._entries()]
+
+    def next_epoch(self) -> int:
+        """One past the highest epoch number any file has ever used here.
+
+        Epochs must never be reused — not even those of snapshots that a
+        recovery later discards — so a file name, once observed, always
+        refers to the same immutable content.
+        """
+        entries = self._entries()
+        return entries[-1][0] + 1 if entries else 0
+
+    def discard_lost_timeline(self, max_wal_records: int) -> List[pathlib.Path]:
+        """Delete snapshots covering more WAL records than survive on disk.
+
+        A crash that loses the WAL tail can strand snapshots describing
+        events that no longer exist; they can never become valid again (the
+        regrown log diverges from the lost one), and leaving them around
+        would let a *later* recovery pick one once the new log grows past
+        their record count.  Recovery calls this before replaying.
+        """
+        removed = []
+        for _epoch, _seen, path in self._entries():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                stale = int(payload["wal_records"]) > max_wal_records
+            except (OSError, ValueError, KeyError):
+                continue  # unreadable files are merely skipped, never chosen
+            if stale:
+                path.unlink(missing_ok=True)
+                removed.append(path)
+        return removed
+
+    def latest(self, max_wal_records: Optional[int] = None) -> Optional[Snapshot]:
+        """Newest loadable snapshot covering at most ``max_wal_records``.
+
+        Unreadable files and snapshots that claim more WAL records than
+        survive on disk (possible when the log lost its tail after the
+        snapshot was cut) are skipped — recovery then falls back to an
+        older snapshot or to a full replay.
+        """
+        for path in reversed(self.paths()):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                snapshot = Snapshot(
+                    epoch=int(payload["epoch"]),
+                    answers_seen=int(payload["answers_seen"]),
+                    wal_records=int(payload["wal_records"]),
+                    payload=payload,
+                    path=path,
+                )
+            except (OSError, ValueError, KeyError):
+                continue
+            if max_wal_records is not None and snapshot.wal_records > max_wal_records:
+                continue
+            return snapshot
+        return None
+
+
+# -- durable session ----------------------------------------------------------
+
+
+class DurableSession:
+    """An answer set + serving policy behind a write-ahead log.
+
+    All session mutations go through this wrapper: events are logged
+    *before* they are applied (WAL discipline), and a snapshot of the
+    engine state is cut every ``snapshot_every`` answers.  Constructing a
+    session over a directory that already holds a log **recovers** it:
+    the newest usable snapshot is re-seated into the (freshly built,
+    identically configured) ``policy`` and the WAL tail is replayed with
+    full side effects; without a usable snapshot the whole log replays.
+
+    Parameters
+    ----------
+    schema:
+        Table schema of the session.
+    policy:
+        The serving policy.  Bit-identical recovery requires a
+        deterministic policy (see the module docs); snapshot acceleration
+        additionally requires the ``snapshot_state`` / ``restore_state``
+        protocol (all T-Crowd serving modes implement it).
+    directory:
+        Where the log and snapshots live.  ``None`` runs fully in memory —
+        the same code path with durability disabled, which is how the
+        non-durable HTTP sessions are served.
+    snapshot_every:
+        Cut a snapshot after this many newly collected answers.
+    fsync:
+        See :class:`WriteAheadLog`.
+    fresh:
+        Refuse to attach to a directory that already holds a log (used by
+        the platform simulator, where silently resuming a previous run
+        would corrupt the experiment).
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        policy,
+        directory=None,
+        snapshot_every: int = 200,
+        fsync: bool = False,
+        fresh: bool = False,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.schema = schema
+        self.policy = policy
+        self.snapshot_every = int(snapshot_every)
+        self.answers = AnswerSet(schema)
+        self.replayed_records = 0
+        self.recovered_epoch: Optional[int] = None
+        self.snapshots_written = 0
+        self._snapshot_epoch = 0
+        self._answers_at_last_snapshot = 0
+        self._wal: Optional[WriteAheadLog] = None
+        self._snapshots: Optional[SnapshotStore] = None
+        if directory is not None:
+            directory = pathlib.Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            self._snapshots = SnapshotStore(directory / "snapshots")
+            self._wal = WriteAheadLog(directory / "wal.jsonl", fsync=fsync)
+            if self._wal.record_count:
+                if fresh:
+                    self._wal.close()
+                    raise ConfigurationError(
+                        f"durable directory {directory} already holds a "
+                        f"write-ahead log with {self._wal.record_count} "
+                        "records; recover it with DurableSession(...) on a "
+                        "fresh policy instead of starting a new run over it"
+                    )
+                self._recover()
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True when events are being logged to disk."""
+        return self._wal is not None
+
+    @property
+    def wal_records(self) -> int:
+        """Number of complete records in the log (0 when in-memory)."""
+        return self._wal.record_count if self._wal is not None else 0
+
+    @property
+    def events(self) -> List[dict]:
+        """Copy of the logged events, oldest first (empty when in-memory)."""
+        return list(self._wal.records) if self._wal is not None else []
+
+    def loop_decisions(self) -> List[Tuple[str, Tuple[Cell, ...]]]:
+        """The logged assignment outcomes ``(worker, cells)``, oldest first.
+
+        Reconstructed from the ``answers`` events with ``observe=True``
+        (each one is the collected batch of exactly one assignment), so a
+        recovery driver can compare the prefix a crashed process completed
+        against an uninterrupted run.
+        """
+        if self._wal is None:
+            return []
+        decisions = []
+        for record in self._wal.records:
+            if record.get("t") == "answers" and record.get("o", True):
+                cells = tuple(
+                    (int(row), int(col)) for row, col, _value in record["a"]
+                )
+                decisions.append((record["w"], cells))
+        return decisions
+
+    def dangling_select(self) -> Optional[Tuple[str, int]]:
+        """``(worker, k)`` if the log ends in a select whose batch was lost.
+
+        A crash between logging a select and logging its collected answers
+        leaves this marker; the recovery driver re-issues the select (the
+        replayed refit made it deterministic) instead of drawing a new
+        worker.
+        """
+        if self._wal is None:
+            return None
+        last = self._wal.last_record
+        if last is not None and last.get("t") == "select":
+            return last["w"], int(last["k"])
+        return None
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover(self) -> None:
+        records = self._wal.records
+        start = 0
+        snapshot = None
+        if self._snapshots is not None:
+            # Epochs are never reused, even when the files carrying the
+            # highest ones came from a timeline the crash lost; only after
+            # fixing the counter are those stranded snapshots deleted (they
+            # could otherwise be picked by a *later* recovery once the
+            # regrown log passes their record count).
+            self._snapshot_epoch = self._snapshots.next_epoch()
+            self._snapshots.discard_lost_timeline(len(records))
+            snapshot = self._snapshots.latest(max_wal_records=len(records))
+        if snapshot is not None:
+            self._answers_at_last_snapshot = snapshot.answers_seen
+        model = snapshot.payload.get("model") if snapshot is not None else None
+        if model is not None and hasattr(self.policy, "restore_state"):
+            # Fast path: rebuild the answer prefix without side effects,
+            # re-seat the snapshot's exact model state, then replay the tail.
+            for record in records[: snapshot.wal_records]:
+                if record.get("t") == "answers":
+                    self._add_answers(record)
+            if len(self.answers) != snapshot.answers_seen:
+                raise DurabilityError(
+                    f"snapshot {snapshot.path.name} covers "
+                    f"{snapshot.answers_seen} answers but its WAL prefix "
+                    f"({snapshot.wal_records} records) holds "
+                    f"{len(self.answers)}; the durable directory is "
+                    "inconsistent"
+                )
+            result = deserialize_result(model["result"], self.schema)
+            self.policy.restore_state(result, int(model["answers_seen"]))
+            self.recovered_epoch = snapshot.epoch
+            start = snapshot.wal_records
+        for record in records[start:]:
+            self._apply(record)
+        self.replayed_records = len(records) - start
+
+    def _add_answers(self, record: dict) -> None:
+        for row, col, value in record["a"]:
+            self.answers.add_answer(record["w"], int(row), int(col), value)
+
+    def _apply(self, record: dict) -> None:
+        """Re-execute one logged event with full side effects."""
+        kind = record.get("t")
+        if kind == "answers":
+            self._add_answers(record)
+            if record.get("o", True):
+                self.policy.observe(self.answers)
+        elif kind == "select":
+            try:
+                self.policy.select(record["w"], self.answers, int(record["k"]))
+            except AssignmentError:
+                pass  # the live call failed too; the refit side effect stands
+        elif kind == "estimates":
+            if len(self.answers):
+                self.policy.final_result(self.answers)
+        # Unknown record types are skipped (forward compatibility).
+
+    # -- session events -------------------------------------------------------
+
+    def select(self, worker: str, k: int = 1):
+        """Log and run one assignment request."""
+        if self._wal is not None:
+            self._wal.append({"t": "select", "w": worker, "k": int(k)})
+        return self.policy.select(worker, self.answers, k)
+
+    def append_answers(
+        self, worker: str, items: Sequence[Tuple[int, int, object]],
+        observe: bool = True,
+    ) -> int:
+        """Log and ingest one batch of collected answers.
+
+        ``items`` is a sequence of ``(row, col, value)``.  The batch is
+        validated against the schema *before* it is logged, so a malformed
+        request can never poison the log.  Returns the new answer count.
+        """
+        items = [(int(row), int(col), value) for row, col, value in items]
+        for row, col, value in items:
+            self.schema.validate_cell(row, col)
+            self.schema.validate_value(col, value)
+        if self._wal is not None:
+            record = {"t": "answers", "w": worker, "a": [list(i) for i in items]}
+            if not observe:
+                record["o"] = False
+            self._wal.append(record)
+        for row, col, value in items:
+            self.answers.add_answer(worker, row, col, value)
+        if observe:
+            self.policy.observe(self.answers)
+        self.maybe_snapshot()
+        return len(self.answers)
+
+    def estimates(self) -> InferenceResult:
+        """Log and run a full catch-up fit; return its result."""
+        if len(self.answers) == 0:
+            raise ConfigurationError(
+                "Cannot estimate truths before any answer was collected"
+            )
+        if not hasattr(self.policy, "final_result"):
+            raise ConfigurationError(
+                f"policy {type(self.policy).__name__} does not support "
+                "estimate requests (no final_result method)"
+            )
+        if self._wal is not None:
+            self._wal.append({"t": "estimates"})
+        return self.policy.final_result(self.answers)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def maybe_snapshot(self) -> Optional[pathlib.Path]:
+        """Cut a snapshot if ``snapshot_every`` answers arrived since the last."""
+        if self._snapshots is None:
+            return None
+        if len(self.answers) - self._answers_at_last_snapshot < self.snapshot_every:
+            return None
+        return self.snapshot()
+
+    def snapshot(self) -> Optional[pathlib.Path]:
+        """Cut one engine-state snapshot now (no-op when in-memory)."""
+        if self._snapshots is None or self._wal is None:
+            return None
+        state = None
+        if hasattr(self.policy, "snapshot_state"):
+            state = self.policy.snapshot_state()
+        model = None
+        if state is not None:
+            result, answers_seen = state
+            model = {
+                "answers_seen": int(answers_seen),
+                "result": serialize_result(result),
+            }
+        payload = {
+            "format": FORMAT_VERSION,
+            "epoch": self._snapshot_epoch,
+            "answers_seen": len(self.answers),
+            "wal_records": self._wal.record_count,
+            "model": model,
+        }
+        path = self._snapshots.save(payload)
+        self._snapshot_epoch += 1
+        self._answers_at_last_snapshot = len(self.answers)
+        self.snapshots_written += 1
+        return path
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Cut a final snapshot, close the log, release policy threads."""
+        if self._wal is not None and not self._wal._closed:
+            if len(self.answers) > self._answers_at_last_snapshot:
+                self.snapshot()
+            self._wal.close()
+        close = getattr(self.policy, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "DurableSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- introspection ------------------------------------------------------------
+
+
+def durable_summary(directory) -> Dict[str, object]:
+    """Cheap summary of a durable directory (used by `/healthz` and tests)."""
+    directory = pathlib.Path(directory)
+    records, valid_bytes = read_wal(directory / "wal.jsonl")
+    store = SnapshotStore(directory / "snapshots")
+    snapshot = store.latest(max_wal_records=len(records))
+    answers = sum(len(r["a"]) for r in records if r.get("t") == "answers")
+    return {
+        "wal_records": len(records),
+        "wal_bytes": valid_bytes,
+        "answers_logged": answers,
+        "snapshots": len(store.paths()),
+        "latest_snapshot_epoch": None if snapshot is None else snapshot.epoch,
+        "latest_snapshot_answers_seen": (
+            None if snapshot is None else snapshot.answers_seen
+        ),
+    }

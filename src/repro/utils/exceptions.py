@@ -24,3 +24,7 @@ class InferenceError(ReproError):
 
 class AssignmentError(ReproError):
     """Raised when a task-assignment policy cannot produce an assignment."""
+
+
+class DurabilityError(ReproError):
+    """Raised when a write-ahead log or snapshot store is inconsistent."""

@@ -10,9 +10,15 @@ configuration of the engine:
   :class:`~repro.engine.ShardedAssignmentPolicy` (partitioned top-K merge);
 * ``async_refit`` — the same assigner served through an
   :class:`~repro.engine.AsyncRefitPolicy` at ``max_stale_answers=0`` on a
-  :class:`~repro.engine.VirtualClock` (every refit blocking, deterministic).
+  :class:`~repro.engine.VirtualClock` (every refit blocking, deterministic);
+* ``sharded_async`` — the composed :class:`~repro.engine.ShardedAsyncPolicy`
+  (partitioned top-K scoring over async snapshots) at
+  ``max_stale_answers=0`` on a :class:`~repro.engine.VirtualClock`.
 
-All three must produce *bit-identical* assignment sequences and final truth
+(The service layer's durability path replays the same scenario through a
+write-ahead log and is pinned against this fixture in ``tests/test_wal.py``.)
+
+All of them must produce *bit-identical* assignment sequences and final truth
 estimates — that is the contract the sharding merge and the bounded-
 staleness mode are built on — and the sequence must match the committed
 fixture ``tests/fixtures/golden_trace.json``, which pins the engine's
@@ -52,7 +58,7 @@ SCENARIO = {
     "model_kwargs": {"max_iterations": 6, "m_step_iterations": 10},
 }
 
-CONFIGS = ("incremental", "sharded", "async_refit")
+CONFIGS = ("incremental", "sharded", "async_refit", "sharded_async")
 
 
 def _build_policy(config: str, schema):
@@ -74,6 +80,16 @@ def _build_policy(config: str, schema):
         from repro.engine import AsyncRefitPolicy, VirtualClock
 
         policy = AsyncRefitPolicy(inner, max_stale_answers=0, clock=VirtualClock())
+        return policy, inner
+    if config == "sharded_async":
+        from repro.engine import ShardedAsyncPolicy, VirtualClock
+
+        policy = ShardedAsyncPolicy(
+            inner,
+            num_shards=SCENARIO["num_shards"],
+            max_stale_answers=0,
+            clock=VirtualClock(),
+        )
         return policy, inner
     raise ValueError(f"unknown config {config!r}")
 
@@ -122,7 +138,7 @@ def replay_session(config: str):
             collected += len(assignment.cells)
             policy.observe(answers)
 
-        if config == "async_refit":
+        if config in ("async_refit", "sharded_async"):
             final = policy.final_result(answers)
         else:
             # observe() refitted at the final answer count already.

@@ -274,11 +274,24 @@ class TestAsyncRefitSession:
         assert trace.final.answers_per_task > 1.0
         assert trace.final.error_rate is not None
 
-    def test_async_and_shards_are_mutually_exclusive(self, async_dataset):
-        with pytest.raises(ConfigurationError):
-            self._session(
-                async_dataset, async_refit=True, shards=2
-            )
+    def test_composed_sharded_async_session_replays_synchronous_trace(
+        self, async_dataset
+    ):
+        """shards + async_refit now compose (ShardedAsyncPolicy) instead of
+        raising; at max_stale_answers=0 the composed session must replay the
+        synchronous trace bit for bit."""
+        sync_trace = self._session(async_dataset).run()
+        composed_trace = self._session(
+            async_dataset, async_refit=True, shards=2, max_stale_answers=0
+        ).run()
+        assert composed_trace.records == sync_trace.records
+        assert composed_trace.policy_name.endswith("[sharded x2 + async refit]")
+
+    def test_composed_session_with_bounded_staleness_completes(self, async_dataset):
+        trace = self._session(
+            async_dataset, async_refit=True, shards=2, max_stale_answers=6
+        ).run()
+        assert trace.final.answers_per_task > 1.0
 
     def test_async_requires_tcrowd_policy(self, async_dataset):
         model = TCrowdModel(max_iterations=4, m_step_iterations=8)

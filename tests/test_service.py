@@ -1,0 +1,452 @@
+"""HTTP integration tests against a live server on an ephemeral port.
+
+A real :class:`~repro.service.app.ServiceServer` (threaded wsgiref) is
+started per test class; every request in here is a genuine HTTP round trip
+through the stdlib client.  Covers the endpoint contract (404 for unknown
+sessions/workers, 400 for malformed payloads, 409 for exhausted workers,
+405 for wrong methods), concurrent workers against one session, the
+Prometheus scrape, durable-session recovery across server restarts, and the
+CLI entry point.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.app import ServiceServer
+from repro.service.bench import ServiceClient, measure_serving
+from repro.service.registry import (
+    SessionRegistry,
+    build_policy,
+    resolve_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.utils.exceptions import ConfigurationError
+
+SCHEMA_SPEC = {
+    "entity_attribute": "item",
+    "num_rows": 4,
+    "columns": [
+        {"name": "color", "type": "categorical", "labels": ["red", "green", "blue"]},
+        {"name": "weight", "type": "continuous", "domain": [0.0, 100.0]},
+    ],
+}
+
+FAST_MODEL = {"max_iterations": 3, "m_step_iterations": 6}
+
+
+def _config(**overrides):
+    config = {
+        "schema": SCHEMA_SPEC,
+        "policy": {"refit_every": 1, "model": dict(FAST_MODEL)},
+    }
+    config.update(overrides)
+    return config
+
+
+def _seed(client, session_id, rows=4, worker_prefix="seed"):
+    for row in range(rows):
+        client.post_answers(
+            session_id,
+            f"{worker_prefix}-{row % 2}",
+            [(row, 0, "red"), (row, 1, 10.0 + row)],
+        )
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServiceServer() as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.address)
+
+
+class TestSchemaCodec:
+    def test_round_trip(self, mixed_schema):
+        rebuilt = schema_from_dict(schema_to_dict(mixed_schema))
+        assert rebuilt == mixed_schema
+
+    def test_malformed_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schema_from_dict({"entity_attribute": "x", "columns": "nope"})
+        with pytest.raises(ConfigurationError):
+            schema_from_dict(
+                {
+                    "entity_attribute": "x",
+                    "num_rows": 2,
+                    "columns": [{"name": "a", "type": "ordinal"}],
+                }
+            )
+
+    def test_resolve_schema_from_dataset(self):
+        schema = resolve_schema(
+            {"dataset": {"name": "celebrity", "seed": 1, "num_rows": 5}}
+        )
+        assert schema.num_rows == 5
+
+    def test_resolve_schema_rejects_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            resolve_schema({"dataset": {"name": "imagenet"}})
+        with pytest.raises(ConfigurationError):
+            resolve_schema({})
+
+    def test_build_policy_modes(self, mixed_schema):
+        plain = build_policy(mixed_schema, {"policy": {"model": FAST_MODEL}})
+        assert type(plain).__name__ == "TCrowdAssigner"
+        sharded = build_policy(
+            mixed_schema,
+            {"policy": {"model": FAST_MODEL}, "serving": {"shards": 2}},
+        )
+        assert "sharded" in sharded.name
+        sharded.close()
+        composed = build_policy(
+            mixed_schema,
+            {
+                "policy": {"model": FAST_MODEL},
+                "serving": {"shards": 2, "async_refit": True},
+            },
+        )
+        assert "sharded x2 + async refit" in composed.name
+        composed.close()
+
+    def test_build_policy_rejects_bad_options(self, mixed_schema):
+        with pytest.raises(ConfigurationError):
+            build_policy(mixed_schema, {"policy": {"bogus_knob": 1}})
+        with pytest.raises(ConfigurationError):
+            build_policy(mixed_schema, {"policy": {"model": {"bogus": 1}}})
+
+
+class TestSessionLifecycle:
+    def test_full_session_over_http(self, client):
+        created = client.create_session(_config())
+        session_id = created["session_id"]
+        assert created["answers_collected"] == 0
+        _seed(client, session_id)
+
+        status, tasks = client.get_tasks(session_id, "worker-7", k=2)
+        assert status == 200
+        assert len(tasks["cells"]) == 2
+        assert len(tasks["gains"]) == 2
+        client.post_answers(
+            session_id,
+            "worker-7",
+            [(row, col, "red" if col == 0 else 5.5) for row, col in tasks["cells"]],
+        )
+
+        estimates = client.get_estimates(session_id)
+        assert len(estimates["estimates"]) == 8
+        assert estimates["answers_collected"] == 10
+
+        status, info = client.request(
+            "GET", f"/sessions/{session_id}/workers/worker-7"
+        )
+        assert status == 200
+        assert info["answers"] == 2
+        assert info["quality"] is not None
+
+        status, stats = client.request("GET", f"/sessions/{session_id}")
+        assert status == 200
+        assert stats["selects_served"] == 1
+        assert stats["answers_ingested"] == 10
+        assert session_id in client._expect("GET", "/sessions")["sessions"]
+
+        closed = client.delete_session(session_id)
+        assert closed == {"closed": session_id}
+        status, _ = client.request("GET", f"/sessions/{session_id}")
+        assert status == 404
+
+    def test_session_from_named_dataset(self, client):
+        created = client.create_session(
+            {
+                "dataset": {"name": "celebrity", "seed": 3, "num_rows": 4},
+                "policy": {"model": dict(FAST_MODEL)},
+                "serving": {"shards": 2},
+            }
+        )
+        assert created["num_rows"] == 4
+        assert "sharded" in created["policy"]
+        client.delete_session(created["session_id"])
+
+    def test_worker_exhaustion_maps_to_409(self, client):
+        config = _config()
+        config["policy"]["max_answers_per_cell"] = 1
+        session_id = client.create_session(config)["session_id"]
+        for row in range(4):
+            client.post_answers(
+                session_id, "the-crowd", [(row, 0, "red"), (row, 1, 1.0)]
+            )
+        status, body = client.get_tasks(session_id, "anyone", k=1)
+        assert status == 409
+        assert "error" in body
+        client.delete_session(session_id)
+
+
+class TestErrorContract:
+    def test_unknown_session_is_404(self, client):
+        for method, path, payload in [
+            ("GET", "/sessions/nope", None),
+            ("GET", "/sessions/nope/tasks?worker=w", None),
+            ("GET", "/sessions/nope/estimates", None),
+            ("POST", "/sessions/nope/answers",
+             {"worker": "w", "answers": [{"row": 0, "col": 0, "value": "red"}]}),
+            ("DELETE", "/sessions/nope", None),
+        ]:
+            status, body = client.request(method, path, payload)
+            assert status == 404, (method, path, status, body)
+
+    def test_unknown_worker_is_404(self, client):
+        session_id = client.create_session(_config())["session_id"]
+        _seed(client, session_id)
+        status, body = client.request(
+            "GET", f"/sessions/{session_id}/workers/never-answered"
+        )
+        assert status == 404
+        assert "error" in body
+        client.delete_session(session_id)
+
+    def test_unknown_path_is_404(self, client):
+        assert client.request("GET", "/frobnicate")[0] == 404
+        assert client.request("GET", "/sessions/x/zap")[0] == 404
+
+    def test_malformed_bodies_are_400(self, client):
+        session_id = client.create_session(_config())["session_id"]
+        cases = [
+            ("POST", "/sessions", None),  # missing body
+            ("POST", f"/sessions/{session_id}/answers", ["not", "an", "object"]),
+            ("POST", f"/sessions/{session_id}/answers", {"worker": ""}),
+            ("POST", f"/sessions/{session_id}/answers",
+             {"worker": "w", "answers": []}),
+            ("POST", f"/sessions/{session_id}/answers",
+             {"worker": "w", "answers": ["nope"]}),
+            ("POST", f"/sessions/{session_id}/answers",
+             {"worker": "w", "answers": [{"row": 0}]}),
+            # invalid label and out-of-range cell
+            ("POST", f"/sessions/{session_id}/answers",
+             {"worker": "w", "answers": [{"row": 0, "col": 0, "value": "mauve"}]}),
+            ("POST", f"/sessions/{session_id}/answers",
+             {"worker": "w", "answers": [{"row": 99, "col": 0, "value": "red"}]}),
+        ]
+        for method, path, payload in cases:
+            status, body = client.request(method, path, payload)
+            assert status == 400, (path, payload, status, body)
+        # raw non-JSON body
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            client.base_url + f"/sessions/{session_id}/answers",
+            data=b"{broken",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            urllib.request.urlopen(req, timeout=10)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+        client.delete_session(session_id)
+
+    def test_tasks_query_validation(self, client):
+        session_id = client.create_session(_config())["session_id"]
+        _seed(client, session_id)
+        assert client.request("GET", f"/sessions/{session_id}/tasks")[0] == 400
+        assert (
+            client.request(
+                "GET", f"/sessions/{session_id}/tasks?worker=w&k=zero"
+            )[0]
+            == 400
+        )
+        assert (
+            client.request("GET", f"/sessions/{session_id}/tasks?worker=w&k=0")[0]
+            == 400
+        )
+        client.delete_session(session_id)
+
+    def test_bad_config_is_400(self, client):
+        status, body = client.request("POST", "/sessions", {"schema": {"x": 1}})
+        assert status == 400
+        status, _ = client.request("POST", "/sessions", {})
+        assert status == 400
+        status, _ = client.request(
+            "POST", "/sessions", _config(durable=True)
+        )
+        assert status == 400  # server has no --durable-root
+
+    def test_wrong_method_is_405(self, client):
+        assert client.request("POST", "/healthz", {"x": 1})[0] == 405
+        assert client.request("PUT", "/sessions", {"x": 1})[0] == 405
+        session_id = client.create_session(_config())["session_id"]
+        assert client.request("POST", f"/sessions/{session_id}", {"x": 1})[0] == 405
+        client.delete_session(session_id)
+
+
+class TestObservability:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert isinstance(health["sessions"], int)
+
+    def test_metrics_scrape(self, client):
+        session_id = client.create_session(_config())["session_id"]
+        _seed(client, session_id)
+        client.get_tasks(session_id, "scraper", k=1)
+        text = client.get_metrics()
+        assert "repro_service_sessions_active" in text
+        assert 'repro_service_requests_total{endpoint="tasks"}' in text
+        assert "repro_service_answers_ingested_total" in text
+        assert 'repro_service_select_latency_seconds{quantile="0.5"}' in text
+        assert "repro_service_select_latency_seconds_count" in text
+        client.delete_session(session_id)
+        # 404s show up as error counters
+        client.request("GET", "/sessions/nope")
+        assert 'repro_service_http_errors_total{status="404"}' in client.get_metrics()
+
+
+class TestConcurrency:
+    def test_concurrent_workers_share_one_session(self, client):
+        session_id = client.create_session(_config())["session_id"]
+        _seed(client, session_id)
+        errors = []
+        accepted = []
+
+        def crowd_worker(name):
+            try:
+                for _ in range(3):
+                    status, body = client.get_tasks(session_id, name, k=1)
+                    if status == 409:
+                        return  # exhausted for this worker — valid outcome
+                    assert status == 200, (status, body)
+                    (row, col), = body["cells"]
+                    client.post_answers(
+                        session_id,
+                        name,
+                        [(row, col, "green" if col == 0 else 42.0)],
+                    )
+                    accepted.append(1)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=crowd_worker, args=(f"crowd-{i}",))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        status, stats = client.request("GET", f"/sessions/{session_id}")
+        assert status == 200
+        # Every accepted answer is accounted for exactly once.
+        assert stats["answers_collected"] == 8 + len(accepted)
+        client.delete_session(session_id)
+
+
+class TestDurableSessionsOverHTTP:
+    def test_recovery_across_server_restart(self, tmp_path):
+        durable_dir = tmp_path / "session-a"
+        with ServiceServer() as first:
+            client = ServiceClient(first.address)
+            created = client.create_session(
+                _config(durable_dir=str(durable_dir), snapshot_every=4)
+            )
+            session_id = created["session_id"]
+            _seed(client, session_id)
+            status, tasks = client.get_tasks(session_id, "worker-z", k=2)
+            assert status == 200
+            client.post_answers(
+                session_id,
+                "worker-z",
+                [
+                    (row, col, "blue" if col == 0 else 7.0)
+                    for row, col in tasks["cells"]
+                ],
+            )
+            before = client.get_estimates(session_id)
+        # server gone; a brand-new process recovers the session from disk
+        with ServiceServer() as second:
+            client = ServiceClient(second.address)
+            recovered = client.create_session({"durable_dir": str(durable_dir)})
+            assert recovered["session_id"] == session_id
+            assert recovered["answers_collected"] == before["answers_collected"]
+            after = client.get_estimates(session_id)
+            assert after["estimates"] == before["estimates"]
+
+    def test_registry_recover_all(self, tmp_path):
+        registry = SessionRegistry(durable_root=tmp_path)
+        with ServiceServer(registry) as server:
+            client = ServiceClient(server.address)
+            session_id = client.create_session(_config(durable=True))["session_id"]
+            _seed(client, session_id)
+        fresh = SessionRegistry(durable_root=tmp_path)
+        assert fresh.recover_all() == [session_id]
+        assert len(fresh.get(session_id).durable.answers) == 8
+        fresh.close_all()
+
+    def test_recover_all_skips_corrupt_directories(self, tmp_path, capsys):
+        registry = SessionRegistry(durable_root=tmp_path)
+        with ServiceServer(registry) as server:
+            client = ServiceClient(server.address)
+            session_id = client.create_session(_config(durable=True))["session_id"]
+            _seed(client, session_id)
+        corrupt = tmp_path / "corrupt-session"
+        corrupt.mkdir()
+        (corrupt / "session.json").write_text("{broken", encoding="utf-8")
+        fresh = SessionRegistry(durable_root=tmp_path)
+        assert fresh.recover_all() == [session_id]
+        assert "skipping unrecoverable" in capsys.readouterr().err
+        fresh.close_all()
+
+    def test_duplicate_session_id_rejected(self, tmp_path):
+        registry = SessionRegistry()
+        session = registry.create(_config(session_id="twin"))
+        assert session.session_id == "twin"
+        with pytest.raises(ConfigurationError):
+            registry.create(_config(session_id="twin"))
+        registry.close_all()
+
+
+class TestServingBenchmarkAndCLI:
+    def test_measure_serving_smoke(self):
+        stats = measure_serving(num_rows=6, target_answers_per_task=1.2)
+        assert stats["serve_requests_per_sec"] > 0
+        assert stats["serve_select_p99_ms"] >= stats["serve_select_p50_ms"] >= 0
+        assert stats["serve_metrics_scraped"]
+
+    def test_cli_build_server(self, tmp_path):
+        from repro.service.__main__ import build_server
+
+        server = build_server(
+            ["--port", "0", "--durable-root", str(tmp_path)]
+        ).start()
+        try:
+            client = ServiceClient(server.address)
+            assert client.healthz()["status"] == "ok"
+            session_id = client.create_session(_config(durable=True))["session_id"]
+            assert (tmp_path / session_id / "session.json").exists()
+        finally:
+            server.close()
+        # a second CLI boot recovers the durable session
+        server = build_server(["--port", "0", "--durable-root", str(tmp_path)])
+        try:
+            assert session_id in server.registry.ids()
+        finally:
+            server.close()
+
+    def test_cli_main_clean_shutdown(self, monkeypatch, capsys):
+        import repro.service.__main__ as cli
+
+        def interrupted(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli.ServiceServer, "serve_forever", interrupted)
+        assert cli.main(["--port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "listening on http://" in out
+        assert "shut down cleanly" in out
