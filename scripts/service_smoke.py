@@ -1,10 +1,12 @@
 """CI smoke test of the crowd-serving HTTP service.
 
 Starts ``python -m repro.service --port 0`` as a real subprocess, drives a
-scripted session over HTTP (create session → seed answers → select/ingest
-loop → estimates), scrapes ``/metrics``, and shuts the server down cleanly
-(SIGINT, asserting the clean-shutdown message).  Exercises the same code
-path an operator would run, end to end, in a few seconds.
+scripted session over HTTP (create session from a **v1 SessionSpec body**
+→ seed answers → select/ingest loop → estimates → ``GET .../config``),
+scrapes ``/metrics``, pins the legacy-config **upgrade shim** with one
+PR-4-dialect request, and shuts the server down cleanly (SIGINT, asserting
+the clean-shutdown message).  Exercises the same code path an operator
+would run, end to end, in a few seconds.
 
 Usage::
 
@@ -24,6 +26,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.config import SessionSpec  # noqa: E402
 from repro.datasets import load_celebrity  # noqa: E402
 from repro.service.bench import ServiceClient  # noqa: E402
 from repro.service.registry import schema_to_dict  # noqa: E402
@@ -57,19 +60,27 @@ def main() -> int:
         pool = dataset.worker_pool
         worker_ids, activities = pool.worker_ids(), pool.activities()
         rng = np.random.default_rng(7)
+        spec = (
+            SessionSpec.builder()
+            .model(max_iterations=4, m_step_iterations=8)
+            .policy(refit_every=1)
+            .sharded(2)
+            .async_refit(max_stale=0)
+            .build()
+        )
         session = client.create_session(
-            {
-                "schema": schema_to_dict(schema),
-                "policy": {
-                    "refit_every": 1,
-                    "model": {"max_iterations": 4, "m_step_iterations": 8},
-                },
-                "serving": {"shards": 2, "async_refit": True,
-                            "max_stale_answers": 0},
-            }
+            {"schema": schema_to_dict(schema), **spec.to_dict()}
         )
         session_id = session["session_id"]
         print(f"session {session_id} created ({session['policy']})")
+
+        # The canonical spec must be served back verbatim.
+        status, config = client.request("GET", f"/sessions/{session_id}/config")
+        assert status == 200, (status, config)
+        assert SessionSpec.from_dict(
+            {k: v for k, v in config.items() if k not in ("schema", "session_id")}
+        ) == spec, config
+        print("config round-trip OK")
 
         for row in range(schema.num_rows):
             worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
@@ -106,6 +117,28 @@ def main() -> int:
 
         estimates = client.get_estimates(session_id)
         assert len(estimates["estimates"]) == schema.num_cells, estimates
+
+        # One legacy PR-4-dialect body pins the upgrade shim: the same
+        # session expressed the old way must create fine and serve back a
+        # canonical v1 spec.
+        legacy = client.create_session(
+            {
+                "schema": schema_to_dict(schema),
+                "policy": {
+                    "refit_every": 1,
+                    "model": {"max_iterations": 4, "m_step_iterations": 8},
+                },
+                "serving": {"shards": 2, "async_refit": True,
+                            "max_stale_answers": 0},
+            }
+        )
+        status, legacy_config = client.request(
+            "GET", f"/sessions/{legacy['session_id']}/config"
+        )
+        assert status == 200 and legacy_config["version"] == 1, legacy_config
+        assert legacy_config["serving"]["shards"] == 2, legacy_config
+        client.delete_session(legacy["session_id"])
+        print("legacy-config upgrade shim OK")
 
         metrics = client.get_metrics()
         for needle in (

@@ -1,0 +1,138 @@
+"""Build live policy objects from a :class:`~repro.config.SessionSpec`.
+
+This is the **single** wrapper-selection point of the codebase.  The same
+serving table used to be duplicated (with drifting defaults) between
+``platform/session.py``, ``service/registry.build_policy`` and the
+benchmark drivers; they all call :func:`wrap_policy` now:
+
+========================  =============================================
+``serving`` section       policy served
+========================  =============================================
+defaults                  the plain incremental assigner, unwrapped
+``shards`` > 1 only       :class:`~repro.engine.ShardedAssignmentPolicy`
+``async_refit`` only      :class:`~repro.engine.AsyncRefitPolicy`
+both                      :class:`~repro.engine.ShardedAsyncPolicy`
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from repro.config.spec import ModelSpec, ServingSpec, SessionSpec
+from repro.core.assignment import AssignmentPolicy, TCrowdAssigner
+from repro.core.inference import TCrowdModel
+from repro.core.schema import TableSchema
+from repro.utils.exceptions import ConfigurationError
+
+
+def build_model(spec: ModelSpec) -> TCrowdModel:
+    """The :class:`TCrowdModel` a :class:`ModelSpec` describes."""
+    return TCrowdModel(**spec.to_kwargs())
+
+
+def build_assigner(schema: TableSchema, spec: SessionSpec) -> TCrowdAssigner:
+    """The bare :class:`TCrowdAssigner` of a spec (no serving wrapper).
+
+    ``serving.refit_tol`` is applied here: the objective-based
+    early-stopping tolerance rides on the assigner even though it is a
+    serving-section field (see :class:`~repro.config.ServingSpec`).
+    """
+    return TCrowdAssigner(
+        schema,
+        model=build_model(spec.policy.model),
+        refit_tol=spec.serving.refit_tol,
+        **spec.policy.to_kwargs(),
+    )
+
+
+def wrap_policy(
+    policy: AssignmentPolicy,
+    serving: ServingSpec,
+    clock=None,
+) -> AssignmentPolicy:
+    """Wrap ``policy`` in the serving mode a :class:`ServingSpec` picks.
+
+    Returns ``policy`` itself for the default (unsharded, synchronous)
+    spec.  Wrapped policies own background threads — callers that create
+    them are responsible for ``close()``.
+
+    Parameters
+    ----------
+    policy:
+        The base policy.  Serving wrappers require a
+        :class:`TCrowdAssigner` (they reuse its model, refit cadence and
+        gain configuration).
+    serving:
+        The serving section of a spec.
+    clock:
+        Optional :class:`~repro.engine.VirtualClock` for the async modes —
+        deterministic synchronous refits for tests and replay harnesses.
+    """
+    if not serving.wants_wrapper:
+        return policy
+    if not isinstance(policy, TCrowdAssigner):
+        raise ConfigurationError(
+            "serving.shards > 1 / serving.async_refit require a "
+            f"TCrowdAssigner policy, got {type(policy).__name__}"
+        )
+    if serving.shards > 1 and serving.async_refit:
+        from repro.engine import ShardedAsyncPolicy
+
+        return ShardedAsyncPolicy(
+            policy,
+            num_shards=serving.shards,
+            max_workers=serving.shard_workers,
+            max_stale_answers=serving.max_stale_answers,
+            clock=clock,
+        )
+    if serving.shards > 1:
+        from repro.engine import ShardedAssignmentPolicy
+
+        return ShardedAssignmentPolicy(
+            policy,
+            num_shards=serving.shards,
+            max_workers=serving.shard_workers,
+        )
+    from repro.engine import AsyncRefitPolicy
+
+    return AsyncRefitPolicy(
+        policy,
+        max_stale_answers=serving.max_stale_answers,
+        clock=clock,
+    )
+
+
+def build_policy(
+    schema: TableSchema,
+    spec: SessionSpec,
+    clock=None,
+) -> AssignmentPolicy:
+    """Assigner + serving wrapper, straight from a spec."""
+    return wrap_policy(build_assigner(schema, spec), spec.serving, clock=clock)
+
+
+def build_durable_session(
+    schema: TableSchema,
+    policy: AssignmentPolicy,
+    spec: SessionSpec,
+    directory=None,
+    fresh: bool = False,
+):
+    """A :class:`~repro.service.wal.DurableSession` per the durability spec.
+
+    ``directory`` overrides ``spec.durability.durable_dir`` (the service
+    resolves per-session directories under its ``--durable-root``); when
+    both are ``None`` the session runs in memory through the same code
+    path.
+    """
+    from repro.service.wal import DurableSession
+
+    if directory is None:
+        directory = spec.durability.durable_dir
+    return DurableSession(
+        schema,
+        policy,
+        directory=directory,
+        snapshot_every=spec.durability.snapshot_every_answers,
+        fsync=spec.durability.wal_fsync,
+        fresh=fresh,
+    )

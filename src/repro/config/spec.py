@@ -1,0 +1,760 @@
+"""The versioned ``SessionSpec``: one serializable description of a session.
+
+Every serving mode the engine grew in PRs 1-4 (incremental, sharded,
+async-refit, composed, durable) used to be wired through a different ad-hoc
+surface: ``CrowdsourcingSession.__init__`` keyword arguments, the
+``measure_engine_speedup`` benchmark knobs (with *different* defaults),
+hand-mapped CLI flags in ``benchmarks/run_bench.py``, and the JSON dialect
+of ``POST /sessions``.  This module replaces all of them with one typed,
+immutable, **versioned** document:
+
+``SessionSpec``
+    ``version`` (always ``1``) plus four nested sections —
+    :class:`PolicySpec` (with its :class:`ModelSpec`), :class:`ServingSpec`,
+    :class:`DurabilitySpec` and :class:`SimulationSpec`.
+
+The spec is the unit that crosses boundaries: it round-trips through
+``to_dict()`` / ``from_dict()`` **exactly** (every float survives JSON with
+the same ``repr``-based discipline as the WAL codec in
+:mod:`repro.service.wal`), it is pinned to ``session.json`` inside durable
+directories, it is the body of ``POST /sessions`` and the response of
+``GET /sessions/{id}/config`` — and, being plain data, it can ship across a
+process boundary next to the ``(epoch, answers_seen)`` snapshot protocol,
+which is what the process-level sharding follow-up in ROADMAP.md needs.
+
+Validation is strict and **path-qualified**: every violation raises a
+:class:`SpecValidationError` (a :class:`~repro.utils.exceptions.ConfigurationError`)
+whose message starts with the dotted field path, e.g.
+``serving.shards must be >= 1, got 0`` — the HTTP API surfaces the path in
+its 400 responses.  Unknown fields are rejected, never ignored.
+
+This module deliberately imports nothing heavy (no numpy, no engine code):
+``python -m repro.config.validate`` must run in a lint-only environment.
+The factory that turns a spec into live policy objects lives in
+:mod:`repro.config.factory`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Optional, Tuple
+
+from repro.utils.exceptions import ConfigurationError
+
+#: The one schema version this package reads and writes.  Bump only with an
+#: upgrade shim from every older version (the PR-4 service dialect upgrades
+#: via :func:`upgrade_legacy_config`).
+SPEC_VERSION = 1
+
+#: Service-envelope keys that ride *next to* a spec in a ``POST /sessions``
+#: body: where the rows live (``schema`` inline or a named ``dataset``),
+#: the caller-chosen ``session_id``, and the ``durable`` flag that asks the
+#: server to place the session under its ``--durable-root``.
+ENVELOPE_KEYS = ("schema", "dataset", "session_id", "durable")
+
+
+class SpecValidationError(ConfigurationError):
+    """A spec field failed validation; ``path`` is the dotted field path."""
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path} {message}")
+        self.path = path
+
+
+# -- field checkers -----------------------------------------------------------
+
+
+def _check_bool(path: str, value) -> bool:
+    if not isinstance(value, bool):
+        raise SpecValidationError(path, f"must be a boolean, got {value!r}")
+    return value
+
+
+def _check_int(
+    path: str,
+    value,
+    minimum: Optional[int] = None,
+    optional: bool = False,
+):
+    if value is None:
+        if optional:
+            return None
+        raise SpecValidationError(path, "must be an integer, got None")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecValidationError(path, f"must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        suffix = " or null" if optional else ""
+        raise SpecValidationError(
+            path, f"must be >= {minimum}{suffix}, got {value}"
+        )
+    return int(value)
+
+
+def _check_float(
+    path: str,
+    value,
+    minimum: Optional[float] = None,
+    exclusive: bool = False,
+    optional: bool = False,
+):
+    if value is None:
+        if optional:
+            return None
+        raise SpecValidationError(path, "must be a number, got None")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecValidationError(path, f"must be a number, got {value!r}")
+    value = float(value)
+    if value != value:  # NaN never validates
+        raise SpecValidationError(path, "must be a finite number, got nan")
+    if value in (float("inf"), float("-inf")):
+        raise SpecValidationError(path, f"must be a finite number, got {value}")
+    if minimum is not None:
+        if exclusive and value <= minimum:
+            raise SpecValidationError(path, f"must be > {minimum}, got {value}")
+        if not exclusive and value < minimum:
+            raise SpecValidationError(path, f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _check_str(path: str, value, optional: bool = False):
+    if value is None:
+        if optional:
+            return None
+        raise SpecValidationError(path, "must be a string, got None")
+    if isinstance(value, os.PathLike):
+        value = os.fspath(value)
+    if not isinstance(value, str):
+        raise SpecValidationError(path, f"must be a string, got {value!r}")
+    if not value:
+        raise SpecValidationError(path, "must be a non-empty string")
+    return value
+
+
+def _reject_unknown(section: str, payload: dict, known: Tuple[str, ...]) -> None:
+    if not isinstance(payload, dict):
+        raise SpecValidationError(
+            section, f"must be a JSON object, got {payload!r}"
+        )
+    for key in payload:
+        if key not in known:
+            raise SpecValidationError(
+                f"{section}.{key}",
+                f"is not a recognised field (expected one of {sorted(known)})",
+            )
+
+
+def _field_names(cls) -> Tuple[str, ...]:
+    return tuple(f.name for f in dataclasses.fields(cls))
+
+
+# -- nested sections ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """EM truth-inference options (:class:`~repro.core.inference.TCrowdModel`).
+
+    Field-for-field the ``TCrowdModel`` constructor, with identical
+    defaults, so ``TCrowdModel(**spec.to_kwargs())`` is always valid.
+    """
+
+    _SECTION: ClassVar[str] = "policy.model"
+
+    epsilon: float = 1.0
+    max_iterations: int = 50
+    tolerance: float = 1e-5
+    m_step_iterations: int = 30
+    difficulty_regularization: float = 0.1
+    phi_regularization: float = 1e-3
+    use_difficulty: bool = True
+    standardize_continuous: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        s = self._SECTION
+        set_ = object.__setattr__
+        set_(self, "epsilon",
+             _check_float(f"{s}.epsilon", self.epsilon, 0.0, exclusive=True))
+        set_(self, "max_iterations",
+             _check_int(f"{s}.max_iterations", self.max_iterations, 1))
+        set_(self, "tolerance",
+             _check_float(f"{s}.tolerance", self.tolerance, 0.0, exclusive=True))
+        set_(self, "m_step_iterations",
+             _check_int(f"{s}.m_step_iterations", self.m_step_iterations, 1))
+        set_(self, "difficulty_regularization",
+             _check_float(f"{s}.difficulty_regularization",
+                          self.difficulty_regularization, 0.0))
+        set_(self, "phi_regularization",
+             _check_float(f"{s}.phi_regularization", self.phi_regularization, 0.0))
+        set_(self, "use_difficulty",
+             _check_bool(f"{s}.use_difficulty", self.use_difficulty))
+        set_(self, "standardize_continuous",
+             _check_bool(f"{s}.standardize_continuous",
+                         self.standardize_continuous))
+        set_(self, "seed", _check_int(f"{s}.seed", self.seed, 0, optional=True))
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    to_kwargs = to_dict  # ``TCrowdModel(**spec.to_kwargs())``
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModelSpec":
+        _reject_unknown(cls._SECTION, payload, _field_names(cls))
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Assignment-policy options (:class:`~repro.core.assignment.TCrowdAssigner`).
+
+    Field-for-field the ``TCrowdAssigner`` constructor (minus the schema and
+    the serving-time ``refit_tol``, which lives in :class:`ServingSpec`),
+    with identical defaults.
+    """
+
+    _SECTION: ClassVar[str] = "policy"
+
+    model: ModelSpec = field(default_factory=ModelSpec)
+    use_structure: bool = True
+    refit_every: int = 1
+    continuous_samples: int = 0
+    max_answers_per_cell: Optional[int] = None
+    min_pairs: int = 5
+    seed: Optional[int] = None
+    warm_start: bool = True
+    vectorized: bool = True
+    incremental: bool = True
+
+    def __post_init__(self) -> None:
+        s = self._SECTION
+        set_ = object.__setattr__
+        if not isinstance(self.model, ModelSpec):
+            raise SpecValidationError(
+                f"{s}.model", f"must be a model object, got {self.model!r}"
+            )
+        set_(self, "use_structure",
+             _check_bool(f"{s}.use_structure", self.use_structure))
+        set_(self, "refit_every",
+             _check_int(f"{s}.refit_every", self.refit_every, 1))
+        set_(self, "continuous_samples",
+             _check_int(f"{s}.continuous_samples", self.continuous_samples, 0))
+        set_(self, "max_answers_per_cell",
+             _check_int(f"{s}.max_answers_per_cell", self.max_answers_per_cell,
+                        1, optional=True))
+        set_(self, "min_pairs", _check_int(f"{s}.min_pairs", self.min_pairs, 0))
+        set_(self, "seed", _check_int(f"{s}.seed", self.seed, 0, optional=True))
+        set_(self, "warm_start", _check_bool(f"{s}.warm_start", self.warm_start))
+        set_(self, "vectorized", _check_bool(f"{s}.vectorized", self.vectorized))
+        set_(self, "incremental",
+             _check_bool(f"{s}.incremental", self.incremental))
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["model"] = self.model.to_dict()
+        return payload
+
+    def to_kwargs(self) -> dict:
+        """``TCrowdAssigner`` keyword arguments (model excluded)."""
+        payload = self.to_dict()
+        payload.pop("model")
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PolicySpec":
+        _reject_unknown(cls._SECTION, payload, _field_names(cls))
+        payload = dict(payload)
+        if "model" in payload:
+            payload["model"] = ModelSpec.from_dict(payload["model"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """How the policy is served: sharding, async refits, staleness.
+
+    ``max_stale_answers`` semantics (the **single** definition — the
+    platform session and the benchmarks used to disagree on the default):
+
+    * ``0`` (the default) — *blocking*: every select waits until the model
+      has seen every collected answer, which replays the synchronous
+      session bit for bit.  This is the mode all recorded equivalence bits
+      (``identical_assignments_async`` / ``..._sharded_async``) pin.
+    * a positive bound — *bounded staleness*: selects score against the
+      latest published snapshot as long as it trails the collected answers
+      by at most this many; only a staler snapshot blocks.  The production
+      mode.
+    * ``null`` — *unbounded*: selects never block on the refit worker.
+
+    ``refit_tol`` is the objective-based early-stopping tolerance of the
+    warm-started serving refits (``TCrowdAssigner(refit_tol=...)``); it
+    lives here rather than in :class:`PolicySpec` because it tunes the
+    serving loop, not the paper's algorithm.
+    """
+
+    _SECTION: ClassVar[str] = "serving"
+
+    shards: int = 1
+    shard_workers: Optional[int] = None
+    async_refit: bool = False
+    max_stale_answers: Optional[int] = 0
+    refit_tol: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        s = self._SECTION
+        set_ = object.__setattr__
+        set_(self, "shards", _check_int(f"{s}.shards", self.shards, 1))
+        set_(self, "shard_workers",
+             _check_int(f"{s}.shard_workers", self.shard_workers, 1,
+                        optional=True))
+        set_(self, "async_refit",
+             _check_bool(f"{s}.async_refit", self.async_refit))
+        set_(self, "max_stale_answers",
+             _check_int(f"{s}.max_stale_answers", self.max_stale_answers, 0,
+                        optional=True))
+        set_(self, "refit_tol",
+             _check_float(f"{s}.refit_tol", self.refit_tol, 0.0,
+                          exclusive=True, optional=True))
+
+    @property
+    def wants_wrapper(self) -> bool:
+        """True when a serving wrapper (sharded/async/composed) is needed."""
+        return self.async_refit or self.shards > 1
+
+    def describe(self) -> str:
+        """Human-readable serving mode, e.g. ``sharded x4 + async refit``."""
+        parts = []
+        if self.shards > 1:
+            parts.append(f"sharded x{self.shards}")
+        if self.async_refit:
+            stale = (
+                "unbounded"
+                if self.max_stale_answers is None
+                else self.max_stale_answers
+            )
+            parts.append(f"async refit (max_stale={stale})")
+        return " + ".join(parts) if parts else "incremental"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServingSpec":
+        _reject_unknown(cls._SECTION, payload, _field_names(cls))
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class DurabilitySpec:
+    """Write-ahead logging and snapshot cadence (:mod:`repro.service.wal`).
+
+    ``durable_dir`` is where the WAL and snapshots live; ``None`` disables
+    durability (the service can still resolve a directory for you when the
+    envelope carries ``"durable": true`` and the server has a
+    ``--durable-root``).  ``wal_fsync`` forces every append to disk —
+    power-loss durability at a heavy per-event cost; the flush-only default
+    survives process crashes.
+    """
+
+    _SECTION: ClassVar[str] = "durability"
+
+    durable_dir: Optional[str] = None
+    snapshot_every_answers: int = 200
+    wal_fsync: bool = False
+
+    def __post_init__(self) -> None:
+        s = self._SECTION
+        set_ = object.__setattr__
+        set_(self, "durable_dir",
+             _check_str(f"{s}.durable_dir", self.durable_dir, optional=True))
+        set_(self, "snapshot_every_answers",
+             _check_int(f"{s}.snapshot_every_answers",
+                        self.snapshot_every_answers, 1))
+        set_(self, "wal_fsync", _check_bool(f"{s}.wal_fsync", self.wal_fsync))
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DurabilitySpec":
+        _reject_unknown(cls._SECTION, payload, _field_names(cls))
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Budget and cadence of a simulated session (the Section 6.3 protocol).
+
+    Only the platform simulator and the benchmarks read this section; the
+    live HTTP service ignores it (real crowds bring their own budget).
+    """
+
+    _SECTION: ClassVar[str] = "simulation"
+
+    target_answers_per_task: float = 5.0
+    initial_answers_per_task: int = 1
+    batch_size: Optional[int] = None
+    eval_every_answers_per_task: float = 0.5
+    seed: Optional[int] = None
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        s = self._SECTION
+        set_ = object.__setattr__
+        set_(self, "target_answers_per_task",
+             _check_float(f"{s}.target_answers_per_task",
+                          self.target_answers_per_task, 0.0, exclusive=True))
+        set_(self, "initial_answers_per_task",
+             _check_int(f"{s}.initial_answers_per_task",
+                        self.initial_answers_per_task, 1))
+        set_(self, "batch_size",
+             _check_int(f"{s}.batch_size", self.batch_size, 1, optional=True))
+        set_(self, "eval_every_answers_per_task",
+             _check_float(f"{s}.eval_every_answers_per_task",
+                          self.eval_every_answers_per_task, 0.0,
+                          exclusive=True))
+        set_(self, "seed", _check_int(f"{s}.seed", self.seed, 0, optional=True))
+        set_(self, "max_steps",
+             _check_int(f"{s}.max_steps", self.max_steps, 0, optional=True))
+        if self.target_answers_per_task <= self.initial_answers_per_task:
+            raise SpecValidationError(
+                f"{s}.target_answers_per_task",
+                "must exceed simulation.initial_answers_per_task "
+                f"({self.initial_answers_per_task}), got "
+                f"{self.target_answers_per_task}",
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationSpec":
+        _reject_unknown(cls._SECTION, payload, _field_names(cls))
+        return cls(**payload)
+
+
+# -- the versioned spec -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """The canonical, versioned description of one serving session.
+
+    Immutable; derive variants with :meth:`with_durable_dir` or
+    ``dataclasses.replace``.  ``from_dict(to_dict(spec)) == spec`` holds
+    exactly for every valid spec (property-tested), including through a
+    JSON encode/decode — the discipline that lets the spec cross process
+    boundaries.
+    """
+
+    version: int = SPEC_VERSION
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    serving: ServingSpec = field(default_factory=ServingSpec)
+    durability: DurabilitySpec = field(default_factory=DurabilitySpec)
+    simulation: SimulationSpec = field(default_factory=SimulationSpec)
+
+    def __post_init__(self) -> None:
+        if self.version != SPEC_VERSION:
+            raise SpecValidationError(
+                "version", f"must be {SPEC_VERSION}, got {self.version!r}"
+            )
+        for name, expected in (
+            ("policy", PolicySpec),
+            ("serving", ServingSpec),
+            ("durability", DurabilitySpec),
+            ("simulation", SimulationSpec),
+        ):
+            if not isinstance(getattr(self, name), expected):
+                raise SpecValidationError(
+                    name, f"must be a {name} object, got {getattr(self, name)!r}"
+                )
+        if self.serving.shards > 1 and self.policy.continuous_samples:
+            raise SpecValidationError(
+                "policy.continuous_samples",
+                "must be 0 when serving.shards > 1 (the Monte-Carlo gain "
+                "estimator consumes an ordered sample stream that sharding "
+                "would reorder)",
+            )
+        if self.serving.async_refit and self.policy.continuous_samples:
+            raise SpecValidationError(
+                "policy.continuous_samples",
+                "must be 0 when serving.async_refit is true (background "
+                "refits would reorder the Monte-Carlo sample stream)",
+            )
+
+    # -- codecs ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe form: every field explicit, floats exact."""
+        return {
+            "version": self.version,
+            "policy": self.policy.to_dict(),
+            "serving": self.serving.to_dict(),
+            "durability": self.durability.to_dict(),
+            "simulation": self.simulation.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionSpec":
+        """Parse (strictly) the dict produced by :meth:`to_dict`.
+
+        Sections may be omitted (their defaults apply); unknown keys and
+        invalid values raise :class:`SpecValidationError` with the dotted
+        field path.
+        """
+        _reject_unknown("spec", payload, _field_names(cls))
+        if "version" not in payload:
+            raise SpecValidationError(
+                "version", f"is required (this library reads version {SPEC_VERSION})"
+            )
+        return cls(
+            version=payload["version"],
+            policy=PolicySpec.from_dict(payload.get("policy") or {}),
+            serving=ServingSpec.from_dict(payload.get("serving") or {}),
+            durability=DurabilitySpec.from_dict(payload.get("durability") or {}),
+            simulation=SimulationSpec.from_dict(payload.get("simulation") or {}),
+        )
+
+    # -- conveniences ---------------------------------------------------------
+
+    @staticmethod
+    def builder() -> "SessionSpecBuilder":
+        """A fluent builder::
+
+            SessionSpec.builder().sharded(4).async_refit(max_stale=64) \\
+                       .durable(root).build()
+        """
+        return SessionSpecBuilder()
+
+    def with_durable_dir(self, durable_dir) -> "SessionSpec":
+        """This spec with ``durability.durable_dir`` replaced."""
+        durability = dataclasses.replace(
+            self.durability,
+            durable_dir=None if durable_dir is None else os.fspath(durable_dir),
+        )
+        return dataclasses.replace(self, durability=durability)
+
+    def describe(self) -> str:
+        """One-line human summary (serving mode + durability)."""
+        text = self.serving.describe()
+        if self.durability.durable_dir is not None:
+            text += " [durable]"
+        return text
+
+    # -- legacy adapters ------------------------------------------------------
+
+    @classmethod
+    def from_legacy_kwargs(
+        cls,
+        *,
+        target_answers_per_task: float = 5.0,
+        initial_answers_per_task: int = 1,
+        batch_size: Optional[int] = None,
+        eval_every_answers_per_task: float = 0.5,
+        seed=None,
+        max_steps: Optional[int] = None,
+        shards: Optional[int] = None,
+        shard_workers: Optional[int] = None,
+        async_refit: bool = False,
+        max_stale_answers: Optional[int] = 0,
+        durable_dir=None,
+        snapshot_every_answers: int = 200,
+        wal_fsync: bool = False,
+    ) -> "SessionSpec":
+        """Adapt the pre-spec ``CrowdsourcingSession`` keyword surface.
+
+        The defaults are the session's historical defaults — in particular
+        ``max_stale_answers=0`` (blocking), the value this spec adopted as
+        the unified default (see :class:`ServingSpec`).  ``shards`` of
+        ``None``/``0``/``1`` all mean "unsharded".  The session's RNG seed
+        may be any value :func:`repro.utils.rng.as_generator` accepts, so
+        it is only recorded when it is a plain non-negative integer.
+        """
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            seed = None
+        return cls(
+            serving=ServingSpec(
+                shards=shards if shards else 1,
+                shard_workers=shard_workers,
+                async_refit=bool(async_refit),
+                max_stale_answers=max_stale_answers,
+            ),
+            durability=DurabilitySpec(
+                durable_dir=(
+                    None if durable_dir is None else os.fspath(durable_dir)
+                ),
+                snapshot_every_answers=snapshot_every_answers,
+                wal_fsync=bool(wal_fsync),
+            ),
+            simulation=SimulationSpec(
+                target_answers_per_task=target_answers_per_task,
+                initial_answers_per_task=initial_answers_per_task,
+                batch_size=batch_size,
+                eval_every_answers_per_task=eval_every_answers_per_task,
+                seed=seed,
+                max_steps=max_steps,
+            ),
+        )
+
+
+# -- fluent builder -----------------------------------------------------------
+
+
+class SessionSpecBuilder:
+    """Accumulates sections, then validates once in :meth:`build`."""
+
+    def __init__(self) -> None:
+        self._model: Dict[str, object] = {}
+        self._policy: Dict[str, object] = {}
+        self._serving: Dict[str, object] = {}
+        self._durability: Dict[str, object] = {}
+        self._simulation: Dict[str, object] = {}
+
+    def model(self, **options) -> "SessionSpecBuilder":
+        """Set :class:`ModelSpec` fields."""
+        self._model.update(options)
+        return self
+
+    def policy(self, **options) -> "SessionSpecBuilder":
+        """Set :class:`PolicySpec` fields (model fields via :meth:`model`)."""
+        self._policy.update(options)
+        return self
+
+    def serving(self, **options) -> "SessionSpecBuilder":
+        """Set :class:`ServingSpec` fields directly."""
+        self._serving.update(options)
+        return self
+
+    def sharded(self, shards: int, workers: Optional[int] = None) -> "SessionSpecBuilder":
+        """Serve through a partitioned candidate pool of ``shards`` shards."""
+        self._serving["shards"] = shards
+        if workers is not None:
+            self._serving["shard_workers"] = workers
+        return self
+
+    def async_refit(
+        self,
+        max_stale: Optional[int] = 0,
+        refit_tol: Optional[float] = None,
+    ) -> "SessionSpecBuilder":
+        """Run EM refits in a background worker (see :class:`ServingSpec`)."""
+        self._serving["async_refit"] = True
+        self._serving["max_stale_answers"] = max_stale
+        if refit_tol is not None:
+            self._serving["refit_tol"] = refit_tol
+        return self
+
+    def durable(
+        self,
+        durable_dir,
+        snapshot_every_answers: Optional[int] = None,
+        wal_fsync: Optional[bool] = None,
+    ) -> "SessionSpecBuilder":
+        """Log every event to a write-ahead log under ``durable_dir``."""
+        self._durability["durable_dir"] = (
+            None if durable_dir is None else os.fspath(durable_dir)
+        )
+        if snapshot_every_answers is not None:
+            self._durability["snapshot_every_answers"] = snapshot_every_answers
+        if wal_fsync is not None:
+            self._durability["wal_fsync"] = wal_fsync
+        return self
+
+    def simulation(self, **options) -> "SessionSpecBuilder":
+        """Set :class:`SimulationSpec` fields."""
+        self._simulation.update(options)
+        return self
+
+    def build(self) -> SessionSpec:
+        """Validate and freeze the accumulated sections into a spec."""
+        policy = dict(self._policy)
+        if self._model:
+            policy["model"] = dict(self._model)
+        payload: Dict[str, object] = {"version": SPEC_VERSION}
+        if policy:
+            payload["policy"] = policy
+        if self._serving:
+            payload["serving"] = dict(self._serving)
+        if self._durability:
+            payload["durability"] = dict(self._durability)
+        if self._simulation:
+            payload["simulation"] = dict(self._simulation)
+        return SessionSpec.from_dict(payload)
+
+
+# -- service-body helpers -----------------------------------------------------
+
+
+def split_envelope(body: dict) -> Tuple[dict, dict]:
+    """Split a v1 service body into ``(envelope, spec_payload)``.
+
+    The envelope carries :data:`ENVELOPE_KEYS`; everything else must be
+    spec fields (validated by :meth:`SessionSpec.from_dict`).
+    """
+    if not isinstance(body, dict):
+        raise SpecValidationError("spec", f"must be a JSON object, got {body!r}")
+    envelope = {}
+    payload = {}
+    for key, value in body.items():
+        if key in ENVELOPE_KEYS:
+            envelope[key] = value
+        else:
+            payload[key] = value
+    return envelope, payload
+
+
+def upgrade_legacy_config(config: dict) -> dict:
+    """Upgrade the PR-4 ``POST /sessions`` dialect to a v1 spec body.
+
+    The legacy dialect (still accepted, documented here as the upgrade
+    path) differs from v1 in four ways:
+
+    * no ``version`` key (its absence is what routes a body through this
+      shim);
+    * durability fields at the top level (``durable_dir``,
+      ``snapshot_every``, ``fsync``) instead of a ``durability`` section
+      (``durable_dir``, ``snapshot_every_answers``, ``wal_fsync``);
+    * ``refit_tol`` under ``policy`` instead of ``serving``;
+    * ``serving.shards`` could be ``null`` to mean "unsharded" (v1 says
+      ``1``).
+
+    Returns the equivalent v1 body (envelope keys preserved); raises
+    :class:`SpecValidationError` for keys neither dialect defines.
+    """
+    config = dict(config)
+    out: Dict[str, object] = {"version": SPEC_VERSION}
+    for key in ENVELOPE_KEYS:
+        if key in config:
+            out[key] = config.pop(key)
+    policy = dict(config.pop("policy", None) or {})
+    refit_tol = policy.pop("refit_tol", None)
+    if policy:
+        out["policy"] = policy
+    serving = dict(config.pop("serving", None) or {})
+    if serving.get("shards", 1) is None:
+        serving.pop("shards")
+    if refit_tol is not None:
+        serving["refit_tol"] = refit_tol
+    if serving:
+        out["serving"] = serving
+    durability = {}
+    if config.get("durable_dir") is not None:
+        durability["durable_dir"] = config.pop("durable_dir")
+    else:
+        config.pop("durable_dir", None)
+    if "snapshot_every" in config:
+        durability["snapshot_every_answers"] = config.pop("snapshot_every")
+    if "fsync" in config:
+        durability["wal_fsync"] = config.pop("fsync")
+    if durability:
+        out["durability"] = durability
+    if config:
+        key = sorted(config)[0]
+        raise SpecValidationError(
+            key,
+            "is not a recognised legacy session-config key; post a "
+            "version-1 spec body instead (see repro.config)",
+        )
+    return out

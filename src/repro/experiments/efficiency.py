@@ -19,6 +19,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.config import ServingSpec, SessionSpec
+from repro.config.factory import wrap_policy
 from repro.core.answers import AnswerSet
 from repro.core.assignment import TCrowdAssigner, refit_model
 from repro.core.inference import TCrowdModel
@@ -138,6 +140,16 @@ def run_figure12_runtime(
     return report
 
 
+def default_max_stale(schema) -> int:
+    """The historical production staleness default: two HITs' worth.
+
+    Single definition — the legacy ``max_stale_answers=None`` keyword of
+    :func:`measure_engine_speedup` and ``benchmarks/run_bench.py`` (when
+    ``--max-stale`` is omitted) both resolve through here.
+    """
+    return 2 * schema.num_columns
+
+
 def _truth_agreement(result_a, result_b, schema) -> float:
     """Fraction of cells whose point estimates agree between two fits.
 
@@ -173,6 +185,7 @@ def measure_engine_speedup(
     async_refit: bool = False,
     max_stale_answers: Optional[int] = None,
     async_refit_tol: Optional[float] = 1e-3,
+    spec: Optional[SessionSpec] = None,
 ) -> Dict[str, object]:
     """Time the online assignment loop on the seed path vs the engine paths.
 
@@ -215,8 +228,65 @@ def measure_engine_speedup(
       (``async_refit_tol``).  Its wall-clock is compared against the
       *synchronous engine path*: ``speedup_async = seconds_engine_path /
       seconds_engine_async_path``.
+
+    ``spec`` is the canonical way to configure the benchmark: a
+    :class:`~repro.config.SessionSpec` supplies the policy options (every
+    :class:`~repro.config.PolicySpec` field plus the model options; the
+    ``warm_start`` / ``vectorized`` / ``incremental`` switches are the
+    benchmark's own matrix axes and are overridden per timed path), the
+    serving matrix (``serving.shards`` > 1 enables the sharded paths,
+    ``serving.async_refit`` the async ones, ``serving.refit_tol`` the
+    production refit tolerance) and the simulation budget
+    (``simulation.target_answers_per_task`` / ``seed`` / ``max_steps``);
+    only the dataset size (``num_rows``) stays a benchmark argument.  The
+    individual keyword arguments remain as a convenience and are folded
+    into a spec internally — the resolved spec is recorded in the returned
+    stats as ``spec``.  Staleness semantics are defined once, on
+    :class:`~repro.config.ServingSpec`, and the *timed production run*
+    honours ``serving.max_stale_answers`` exactly (``0`` times the
+    blocking mode, ``null`` the unbounded one); only the legacy
+    ``max_stale_answers=None`` keyword keeps its historical meaning of
+    "two HITs' worth", resolved against the dataset and recorded as the
+    actual bound in the returned spec.
     """
-    dataset = load_celebrity(seed=seed, num_rows=num_rows)
+    if spec is None:
+        dataset = load_celebrity(seed=seed, num_rows=num_rows)
+        builder = (
+            SessionSpec.builder()
+            .model(**dict(model_kwargs or {"max_iterations": 10, "m_step_iterations": 15}))
+            .policy(refit_every=refit_every)
+            .simulation(
+                target_answers_per_task=target_answers_per_task,
+                seed=seed,
+                max_steps=max_steps,
+            )
+        )
+        if shards is not None and shards > 1:
+            builder.sharded(shards, shard_workers)
+        if async_refit:
+            builder.async_refit(
+                max_stale=(
+                    default_max_stale(dataset.schema)
+                    if max_stale_answers is None
+                    else max_stale_answers
+                ),
+                refit_tol=async_refit_tol,
+            )
+        spec = builder.build()
+    else:
+        seed = spec.simulation.seed if spec.simulation.seed is not None else seed
+        target_answers_per_task = spec.simulation.target_answers_per_task
+        max_steps = spec.simulation.max_steps
+        refit_every = spec.policy.refit_every
+        model_kwargs = spec.policy.model.to_kwargs()
+        shards = spec.serving.shards if spec.serving.shards > 1 else None
+        shard_workers = spec.serving.shard_workers
+        async_refit = spec.serving.async_refit
+        # The spec is honoured exactly: refit_tol=None means no objective
+        # early stopping in the timed runs, exactly as it would through
+        # from_spec or the HTTP service.
+        async_refit_tol = spec.serving.refit_tol
+        dataset = load_celebrity(seed=seed, num_rows=num_rows)
     schema = dataset.schema
     pool = dataset.worker_pool
     worker_ids = pool.worker_ids()
@@ -241,35 +311,35 @@ def measure_engine_speedup(
             for col in range(schema.num_columns):
                 value = dataset.oracle.answer(worker, row, col, rng)
                 answers.add_answer(worker, row, col, value)
+        # Every PolicySpec field flows into the assigner except the
+        # warm_start/vectorized/incremental switches, which are the
+        # benchmark's matrix axes (each timed path overrides them), and
+        # refit_tol, which only the production async runs enable.
         assigner = TCrowdAssigner(
             schema,
             model=TCrowdModel(**options),
+            use_structure=spec.policy.use_structure,
             refit_every=refit_every,
+            continuous_samples=spec.policy.continuous_samples,
+            max_answers_per_cell=spec.policy.max_answers_per_cell,
+            min_pairs=spec.policy.min_pairs,
+            seed=spec.policy.seed,
             warm_start=warm_start,
             vectorized=fast,
             incremental=fast,
             refit_tol=refit_tol,
         )
-        policy = assigner
-        if num_shards is not None and async_stale != "off":
-            from repro.engine import ShardedAsyncPolicy
-
-            policy = ShardedAsyncPolicy(
-                assigner,
-                num_shards=num_shards,
-                max_workers=shard_workers,
-                max_stale_answers=async_stale,
-            )
-        elif num_shards is not None:
-            from repro.engine import ShardedAssignmentPolicy
-
-            policy = ShardedAssignmentPolicy(
-                assigner, num_shards=num_shards, max_workers=shard_workers
-            )
-        elif async_stale != "off":
-            from repro.engine import AsyncRefitPolicy
-
-            policy = AsyncRefitPolicy(assigner, max_stale_answers=async_stale)
+        # The serving wrapper comes from the same factory table every other
+        # entry point (platform session, HTTP service) uses.
+        policy = wrap_policy(
+            assigner,
+            ServingSpec(
+                shards=num_shards if num_shards is not None else 1,
+                shard_workers=shard_workers,
+                async_refit=async_stale != "off",
+                max_stale_answers=0 if async_stale == "off" else async_stale,
+            ),
+        )
         decisions: List[tuple] = []
         collected = 0
         steps = 0
@@ -330,6 +400,7 @@ def measure_engine_speedup(
         else 0.0
     )
     stats: Dict[str, object] = {
+        "spec": spec.to_dict(),
         "seed": seed,
         "num_rows": num_rows,
         "num_columns": schema.num_columns,
@@ -369,15 +440,12 @@ def measure_engine_speedup(
         stats["identical_assignments_async"] = (
             seed_decisions == async_exact_decisions
         )
-        # Production run: bounded staleness (two HITs' worth by default),
-        # background warm-started refits with objective-based early stopping.
-        # Compared against the *synchronous engine path*, not the seed path:
-        # the async win is on top of the engine's.
-        stale = (
-            int(max_stale_answers)
-            if max_stale_answers is not None
-            else 2 * schema.num_columns
-        )
+        # Production run: the spec's staleness bound, honoured exactly
+        # (0 times the blocking mode, None the unbounded one), with
+        # background warm-started refits and objective-based early
+        # stopping.  Compared against the *synchronous engine path*, not
+        # the seed path: the async win is on top of the engine's.
+        stale = spec.serving.max_stale_answers
         _, async_seconds, _, _, _ = run_path(
             warm_start=True, fast=True, async_stale=stale,
             refit_tol=async_refit_tol,
@@ -396,10 +464,10 @@ def measure_engine_speedup(
         stats["identical_assignments_sharded_async"] = (
             seed_decisions == composed_exact
         )
-        # Production composed run: bounded staleness + warm early-stopped
-        # refits, scored shard by shard.  Compared against the synchronous
-        # engine path, like speedup_async.
-        stale = int(stats["async_max_stale_answers"])
+        # Production composed run: the spec's staleness bound + warm
+        # early-stopped refits, scored shard by shard.  Compared against
+        # the synchronous engine path, like speedup_async.
+        stale = spec.serving.max_stale_answers
         _, composed_seconds, _, _, _ = run_path(
             warm_start=True, fast=True, num_shards=shards, async_stale=stale,
             refit_tol=async_refit_tol,
@@ -422,6 +490,7 @@ def run_engine_speedup(
     shard_workers: Optional[int] = None,
     async_refit: bool = False,
     max_stale_answers: Optional[int] = None,
+    spec: Optional[SessionSpec] = None,
 ) -> ExperimentReport:
     """Engine-vs-seed wall-clock of the online loop (Algorithm 2 cadence).
 
@@ -440,6 +509,7 @@ def run_engine_speedup(
         shard_workers=shard_workers,
         async_refit=async_refit,
         max_stale_answers=max_stale_answers,
+        spec=spec,
     )
     return engine_speedup_report(stats)
 

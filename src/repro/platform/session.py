@@ -9,17 +9,24 @@ and 5 of the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.config import SessionSpec
+from repro.config.factory import build_assigner, build_model, wrap_policy
 from repro.core.answers import AnswerSet
-from repro.core.assignment import AssignmentPolicy, TCrowdAssigner
+from repro.core.assignment import AssignmentPolicy
 from repro.datasets.base import CrowdDataset
 from repro.metrics import error_rate, mnad
 from repro.platform.arrival import WorkerArrivalProcess
 from repro.platform.budget import Budget
 from repro.utils.exceptions import AssignmentError, ConfigurationError
 from repro.utils.rng import as_generator
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value, so
+#: the legacy-kwargs shim only warns when a deprecated knob is actually used.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -74,139 +81,169 @@ class SessionTrace:
 class CrowdsourcingSession:
     """Simulate an end-to-end crowdsourcing run of one assignment policy.
 
+    The canonical way to configure a session is a
+    :class:`~repro.config.SessionSpec` — either through
+    :meth:`from_spec` (which also builds the policy and evaluation
+    inference from the spec) or by passing ``spec=`` alongside an
+    explicit policy.  The serving mode (``spec.serving``: sharded /
+    async-refit / composed), the durability section and the simulation
+    budget are all read from the spec; the wrapper-selection logic is the
+    shared factory in :mod:`repro.config.factory`, the same one the HTTP
+    service uses.
+
     Parameters
     ----------
     dataset:
         A simulated dataset carrying an :class:`AnswerOracle` and a worker
         pool (all loaders in :mod:`repro.datasets` provide both).
     policy:
-        The assignment policy under test.
+        The assignment policy under test (the *base* policy — serving
+        wrappers are applied from ``spec.serving``).
     inference:
         Object with ``fit(schema, answers)`` used to evaluate effectiveness
         at the checkpoints (each system is evaluated with its own inference,
         as in the paper).
-    target_answers_per_task:
-        Total budget expressed in answers per cell.
-    initial_answers_per_task:
-        Answers per cell collected before the policy starts (Algorithm 2
-        line 1 initialises every task with several answers).
-    batch_size:
-        Number of tasks per HIT; defaults to the number of columns (the
-        paper's AMT setting).
-    eval_every_answers_per_task:
-        Evaluation checkpoint spacing on the answers-per-task axis.
-    shards:
-        When > 1, serve the policy through a
-        :class:`~repro.engine.ShardedAssignmentPolicy` partitioned into this
-        many contiguous row-range shards (requires a
-        :class:`~repro.core.assignment.TCrowdAssigner`).  The recorded trace
-        is identical to the unsharded run — sharding only changes how the
-        candidate pool is stored and scored.
-    shard_workers:
-        Optional thread-pool size for concurrent per-shard scoring.
-    async_refit:
-        Serve the policy through an
-        :class:`~repro.engine.AsyncRefitPolicy` (requires a
-        :class:`~repro.core.assignment.TCrowdAssigner`): truth-inference
-        refits run in a background worker and selects score against the
-        latest published :class:`~repro.engine.ModelSnapshot`.  Combined
-        with ``shards`` > 1 the session serves the composed
-        :class:`~repro.engine.ShardedAsyncPolicy` — per-shard scoring over
-        async snapshots.
-    max_stale_answers:
-        Bounded-staleness knob for ``async_refit`` (see
-        :class:`~repro.engine.AsyncRefitEngine`).  The default ``0`` blocks
-        every select until the model has seen all answers, which replays
-        the synchronous session exactly (also in the composed
-        sharded+async mode); a positive bound lets selects run against a
-        snapshot at most that many answers behind.
-    durable_dir:
-        When set, every session event (seed batches, selects, collected
-        answers) is logged to a write-ahead log in this directory with
-        periodic engine-state snapshots (see
-        :class:`~repro.service.wal.DurableSession`), so a killed run can be
-        recovered and continued bit-identically.  The directory must be
-        fresh — resuming over an old log would corrupt the experiment.
-    snapshot_every_answers:
-        Snapshot cadence for ``durable_dir`` (answers between snapshots).
-    wal_fsync:
-        Force every WAL append to disk (power-loss durability) instead of
-        the default flush-only (process-crash durability).
+    spec:
+        The session's :class:`~repro.config.SessionSpec`.  Mutually
+        exclusive with the legacy keyword surface below.
+    target_answers_per_task / initial_answers_per_task / batch_size /
+    eval_every_answers_per_task / seed / max_steps:
+        The simulation budget (see
+        :class:`~repro.config.SimulationSpec` for the field semantics).
+        Convenience aliases for ``spec.simulation``; accepted without a
+        deprecation warning because they configure the run, not the
+        serving architecture.
+    shards / shard_workers / async_refit / max_stale_answers /
+    durable_dir / snapshot_every_answers / wal_fsync:
+        **Deprecated** legacy serving/durability knobs, adapted through
+        :meth:`SessionSpec.from_legacy_kwargs` with a
+        ``DeprecationWarning``.  Use ``spec=`` (or :meth:`from_spec`)
+        instead; the field semantics — including the unified
+        ``max_stale_answers`` default of ``0`` (blocking) — are documented
+        once, on :class:`~repro.config.ServingSpec` and
+        :class:`~repro.config.DurabilitySpec`.
     """
+
+    #: Legacy serving/durability keywords routed through the deprecation
+    #: shim (everything the spec's serving + durability sections cover).
+    _LEGACY_KWARGS = (
+        "shards",
+        "shard_workers",
+        "async_refit",
+        "max_stale_answers",
+        "durable_dir",
+        "snapshot_every_answers",
+        "wal_fsync",
+    )
 
     def __init__(
         self,
         dataset: CrowdDataset,
         policy: AssignmentPolicy,
         inference,
-        target_answers_per_task: float = 5.0,
-        initial_answers_per_task: int = 1,
-        batch_size: Optional[int] = None,
-        eval_every_answers_per_task: float = 0.5,
-        seed=None,
-        max_steps: Optional[int] = None,
-        shards: Optional[int] = None,
-        shard_workers: Optional[int] = None,
-        async_refit: bool = False,
-        max_stale_answers: Optional[int] = 0,
-        durable_dir=None,
-        snapshot_every_answers: int = 200,
-        wal_fsync: bool = False,
+        target_answers_per_task=_UNSET,
+        initial_answers_per_task=_UNSET,
+        batch_size=_UNSET,
+        eval_every_answers_per_task=_UNSET,
+        seed=_UNSET,
+        max_steps=_UNSET,
+        shards=_UNSET,
+        shard_workers=_UNSET,
+        async_refit=_UNSET,
+        max_stale_answers=_UNSET,
+        durable_dir=_UNSET,
+        snapshot_every_answers=_UNSET,
+        wal_fsync=_UNSET,
+        spec: Optional[SessionSpec] = None,
     ) -> None:
         if dataset.oracle is None or dataset.worker_pool is None:
             raise ConfigurationError(
                 "The dataset must carry an AnswerOracle and a WorkerPool to "
                 "simulate a live session"
             )
-        if target_answers_per_task <= initial_answers_per_task:
-            raise ConfigurationError(
-                "target_answers_per_task must exceed initial_answers_per_task"
+        legacy = {
+            name: value
+            for name, value in (
+                ("target_answers_per_task", target_answers_per_task),
+                ("initial_answers_per_task", initial_answers_per_task),
+                ("batch_size", batch_size),
+                ("eval_every_answers_per_task", eval_every_answers_per_task),
+                ("seed", seed),
+                ("max_steps", max_steps),
+                ("shards", shards),
+                ("shard_workers", shard_workers),
+                ("async_refit", async_refit),
+                ("max_stale_answers", max_stale_answers),
+                ("durable_dir", durable_dir),
+                ("snapshot_every_answers", snapshot_every_answers),
+                ("wal_fsync", wal_fsync),
             )
+            if value is not _UNSET
+        }
+        if spec is not None and legacy:
+            raise ConfigurationError(
+                "Pass either spec= or the legacy keyword arguments, not "
+                f"both (got spec and {sorted(legacy)})"
+            )
+        if spec is None:
+            deprecated = sorted(set(legacy) & set(self._LEGACY_KWARGS))
+            if deprecated:
+                warnings.warn(
+                    "The CrowdsourcingSession serving/durability keyword "
+                    f"arguments {deprecated} are deprecated; build a "
+                    "SessionSpec (repro.config) and pass spec= or use "
+                    "CrowdsourcingSession.from_spec instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            spec = SessionSpec.from_legacy_kwargs(**legacy)
+        self.spec = spec
+        self._raw_seed = seed if seed is not _UNSET else spec.simulation.seed
         self._owned_policy = None
-        wants_wrapper = async_refit or (shards is not None and shards > 1)
-        if wants_wrapper and not isinstance(policy, TCrowdAssigner):
-            raise ConfigurationError(
-                "shards > 1 / async_refit require a TCrowdAssigner policy, "
-                f"got {type(policy).__name__}"
-            )
-        if async_refit and shards is not None and shards > 1:
-            from repro.engine import ShardedAsyncPolicy
-
-            policy = ShardedAsyncPolicy(
-                policy,
-                num_shards=shards,
-                max_workers=shard_workers,
-                max_stale_answers=max_stale_answers,
-            )
-            self._owned_policy = policy
-        elif shards is not None and shards > 1:
-            from repro.engine import ShardedAssignmentPolicy
-
-            policy = ShardedAssignmentPolicy(
-                policy, num_shards=shards, max_workers=shard_workers
-            )
-            self._owned_policy = policy
-        elif async_refit:
-            from repro.engine import AsyncRefitPolicy
-
-            policy = AsyncRefitPolicy(policy, max_stale_answers=max_stale_answers)
-            self._owned_policy = policy
+        wrapped = wrap_policy(policy, spec.serving)
+        if wrapped is not policy:
+            self._owned_policy = wrapped
         self.dataset = dataset
-        self.policy = policy
+        self.policy = wrapped
         self.inference = inference
-        self.target_answers_per_task = float(target_answers_per_task)
-        self.initial_answers_per_task = int(initial_answers_per_task)
-        self.batch_size = batch_size or dataset.schema.num_columns
-        self.eval_every = float(eval_every_answers_per_task)
-        self.max_steps = max_steps
-        self.durable_dir = durable_dir
-        self.snapshot_every_answers = int(snapshot_every_answers)
-        self.wal_fsync = bool(wal_fsync)
+        simulation = spec.simulation
+        durability = spec.durability
+        self.target_answers_per_task = simulation.target_answers_per_task
+        self.initial_answers_per_task = simulation.initial_answers_per_task
+        self.batch_size = simulation.batch_size or dataset.schema.num_columns
+        self.eval_every = simulation.eval_every_answers_per_task
+        self.max_steps = simulation.max_steps
+        self.durable_dir = durability.durable_dir
+        self.snapshot_every_answers = durability.snapshot_every_answers
+        self.wal_fsync = durability.wal_fsync
         self.durable = None
-        self._rng = as_generator(seed)
+        self._rng = as_generator(self._raw_seed)
         self.arrival = WorkerArrivalProcess(
             dataset.worker_pool, seed=self._rng.integers(0, 2**31 - 1)
         )
+
+    @classmethod
+    def from_spec(
+        cls,
+        dataset: CrowdDataset,
+        spec: SessionSpec,
+        inference=None,
+        policy: Optional[AssignmentPolicy] = None,
+    ) -> "CrowdsourcingSession":
+        """Build a session entirely from a :class:`~repro.config.SessionSpec`.
+
+        ``policy`` defaults to the :class:`~repro.core.assignment.TCrowdAssigner`
+        the spec's policy section describes (serving wrappers are applied
+        either way); ``inference`` defaults to a
+        :class:`~repro.core.inference.TCrowdModel` built from
+        ``spec.policy.model``.  This is the exactly-one-way entry point —
+        the same spec document drives the benchmarks and the HTTP service.
+        """
+        if policy is None:
+            policy = build_assigner(dataset.schema, spec)
+        if inference is None:
+            inference = build_model(spec.policy.model)
+        return cls(dataset, policy, inference, spec=spec)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -276,15 +313,12 @@ class CrowdsourcingSession:
     def _run(self) -> SessionTrace:
         schema = self.dataset.schema
         if self.durable_dir is not None:
-            from repro.service.wal import DurableSession
+            from repro.config.factory import build_durable_session
 
-            self.durable = DurableSession(
-                schema,
-                self.policy,
-                directory=self.durable_dir,
-                snapshot_every=self.snapshot_every_answers,
-                fsync=self.wal_fsync,
-                fresh=True,
+            # fresh=True: resuming over an old log would corrupt the
+            # experiment, unlike the service's recover-on-attach semantics.
+            self.durable = build_durable_session(
+                schema, self.policy, self.spec, fresh=True
             )
             answers = self.durable.answers
         else:

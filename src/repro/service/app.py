@@ -17,12 +17,20 @@ GET       ``/sessions/{id}/tasks?worker=&k=``  assign the next task batch
 POST      ``/sessions/{id}/answers``           ingest collected answers
 GET       ``/sessions/{id}/estimates``         current truth estimates
 GET       ``/sessions/{id}/workers/{worker}``  per-worker quality
+GET       ``/sessions/{id}/config``            canonical v1 session spec
 ========  ===================================  =================================
+
+``POST /sessions`` takes a version-1 :class:`~repro.config.SessionSpec`
+body (legacy PR-4 configs upgrade transparently, see
+:mod:`repro.service.registry`); ``GET /sessions/{id}/config`` returns the
+canonical spec the session actually runs with.
 
 Error mapping: unknown session / unknown worker → 404; malformed JSON,
 malformed answers, invalid configs → 400; a worker with no assignable cell
 left → 409 (the session is simply exhausted for them); wrong method → 405.
-Every response body is JSON, errors as ``{"error": ...}``.
+Every response body is JSON, errors as ``{"error": ...}`` — spec
+validation failures additionally carry the dotted field path as
+``{"error": ..., "path": "serving.max_stale_answers"}``.
 """
 
 from __future__ import annotations
@@ -59,7 +67,7 @@ _STATUS = {
 
 _SESSION_PATH = re.compile(
     r"^/sessions/(?P<sid>[A-Za-z0-9_.-]+)"
-    r"(?:/(?P<verb>tasks|answers|estimates|workers))?"
+    r"(?:/(?P<verb>tasks|answers|estimates|workers|config))?"
     r"(?:/(?P<arg>[^/]+))?$"
 )
 
@@ -174,6 +182,12 @@ class ServiceApp:
             status, body = exc.status, {"error": exc.message}
         except (ConfigurationError, DataError, ValueError) as exc:
             status, body = 400, {"error": str(exc)}
+            # Spec validation failures carry the dotted field path (e.g.
+            # "serving.max_stale_answers") so clients can point at the
+            # offending field without parsing the message.
+            path_hint = getattr(exc, "path", None)
+            if path_hint:
+                body["path"] = path_hint
         except KeyError as exc:
             status, body = 404, {"error": f"Unknown resource: {exc.args[0]!r}"}
         except AssignmentError as exc:
@@ -235,6 +249,9 @@ class ServiceApp:
         if verb == "estimates":
             self._require(method, "GET")
             return "estimates", 200, session.estimates()
+        if verb == "config":
+            self._require(method, "GET")
+            return "config", 200, session.config_payload()
         if verb == "workers":
             self._require(method, "GET")
             if not arg:

@@ -33,9 +33,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.config import SessionSpec
+from repro.config.factory import build_policy
 from repro.datasets import load_celebrity
 from repro.service.app import ServiceServer, _quantile
-from repro.service.registry import build_policy, schema_to_dict
+from repro.service.registry import schema_to_dict
 from repro.service.wal import DurableSession
 from repro.utils.exceptions import AssignmentError, DurabilityError
 
@@ -71,18 +73,19 @@ def _serving_config(mode: str, scenario: dict) -> dict:
     raise ValueError(f"Unknown serving mode {mode!r}; expected {SERVING_MODES}")
 
 
-def _build_scripted_policy(schema, mode: str, scenario: dict):
-    return build_policy(
-        schema,
-        {
-            "policy": {
-                "refit_every": 1,
-                "warm_start": True,
-                "model": scenario["model_kwargs"],
-            },
-            "serving": _serving_config(mode, scenario),
-        },
+def scripted_spec(mode: str, scenario: dict) -> SessionSpec:
+    """The :class:`~repro.config.SessionSpec` of one scripted serving mode."""
+    return (
+        SessionSpec.builder()
+        .model(**scenario["model_kwargs"])
+        .policy(refit_every=1, warm_start=True)
+        .serving(**_serving_config(mode, scenario))
+        .build()
     )
+
+
+def _build_scripted_policy(schema, mode: str, scenario: dict):
+    return build_policy(schema, scripted_spec(mode, scenario))
 
 
 def _extra_answers(schema, scenario: dict) -> int:
@@ -432,20 +435,16 @@ def measure_serving(
     pool = dataset.worker_pool
     worker_ids, activities = pool.worker_ids(), pool.activities()
     rng = np.random.default_rng(seed)
-    config = {
-        "schema": schema_to_dict(schema),
-        "policy": {
-            "refit_every": 1,
-            "warm_start": True,
-            "model": dict(
-                model_kwargs or {"max_iterations": 6, "m_step_iterations": 10}
-            ),
-        },
-        "serving": dict(serving or {}),
-        "snapshot_every": snapshot_every,
-    }
-    if durable_dir is not None:
-        config["durable_dir"] = str(durable_dir)
+    builder = (
+        SessionSpec.builder()
+        .model(**dict(model_kwargs or {"max_iterations": 6, "m_step_iterations": 10}))
+        .policy(refit_every=1, warm_start=True)
+        .serving(**dict(serving or {}))
+        .durable(durable_dir, snapshot_every_answers=snapshot_every)
+    )
+    # The benchmark posts the canonical v1 spec body, exactly what any
+    # operator client should send to POST /sessions.
+    config = {"schema": schema_to_dict(schema), **builder.build().to_dict()}
 
     extra = int(round((target_answers_per_task - 1.0) * schema.num_cells))
     select_seconds: List[float] = []

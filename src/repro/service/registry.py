@@ -12,13 +12,18 @@ Concurrency discipline:
   a session while different sessions proceed fully in parallel — the same
   partitioning the sharded engine applies one level down.
 
-Sessions are described by a JSON config (see :func:`build_policy`): a schema
-(inline, or named dataset), the assigner knobs, and the serving mode —
-plain incremental, sharded, async-refit, or the composed sharded+async
-policy.  Durable sessions pin their config to ``session.json`` inside the
-durable directory; :meth:`SessionRegistry.create` with such a directory
-*recovers* the session (write-ahead-log replay, see
-:mod:`repro.service.wal`) instead of creating a fresh one.
+Sessions are described by a **version-1 spec body** (see
+:mod:`repro.config`): the envelope names where the rows live (an inline
+``schema`` or a named ``dataset``, plus ``session_id`` / ``durable``),
+the spec sections pick the policy, the serving mode and the durability
+settings.  The PR-4 config dialect is still accepted — bodies without a
+``version`` key upgrade through
+:func:`repro.config.upgrade_legacy_config`.  Durable sessions pin the
+*canonical* spec to ``session.json`` inside the durable directory;
+:meth:`SessionRegistry.create` with such a directory *recovers* the
+session (write-ahead-log replay, see :mod:`repro.service.wal`) instead of
+creating a fresh one, and ``GET /sessions/{id}/config`` serves the
+canonical spec back.
 """
 
 from __future__ import annotations
@@ -30,12 +35,21 @@ import threading
 import uuid
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.assignment import TCrowdAssigner
-from repro.core.inference import TCrowdModel
+from repro.config import (
+    SessionSpec,
+    split_envelope,
+    upgrade_legacy_config,
+)
+from repro.config.factory import build_durable_session
+from repro.config.factory import build_policy as _build_spec_policy
 from repro.core.schema import Column, TableSchema
 from repro.service.wal import DurableSession
 from repro.utils.exceptions import ConfigurationError, ReproError
-from repro.utils.validation import require_positive
+
+#: Version of the durable ``session.json`` manifest.  Format 2 pins the
+#: canonical v1 spec under ``"spec"``; format-1 manifests (the PR-4 legacy
+#: config under ``"config"``) still recover through the upgrade shim.
+MANIFEST_FORMAT = 2
 
 #: Loaders a ``{"dataset": {"name": ...}}`` spec may reference.
 _DATASET_LOADERS = {
@@ -128,62 +142,39 @@ def resolve_schema(config: dict) -> TableSchema:
     )
 
 
-# -- policy construction ------------------------------------------------------
+# -- config parsing / policy construction -------------------------------------
 
 
-def build_policy(schema: TableSchema, config: dict):
+def parse_config(config: dict) -> Tuple[dict, SessionSpec]:
+    """Parse a ``POST /sessions`` body into ``(envelope, spec)``.
+
+    A body carrying ``version`` is parsed as a v1 spec document (strict,
+    path-qualified errors); one without is treated as the legacy PR-4
+    dialect and upgraded first (see
+    :func:`repro.config.upgrade_legacy_config`).  The envelope holds the
+    service-side keys (``schema`` / ``dataset`` / ``session_id`` /
+    ``durable``).
+    """
+    if not isinstance(config, dict):
+        raise ConfigurationError("The session config must be a JSON object")
+    if "version" not in config:
+        config = upgrade_legacy_config(config)
+    envelope, payload = split_envelope(config)
+    return envelope, SessionSpec.from_dict(payload)
+
+
+def build_policy(schema: TableSchema, config):
     """Build the serving policy a session config describes.
 
-    ``config["policy"]`` configures the underlying
-    :class:`~repro.core.assignment.TCrowdAssigner` (and its
-    :class:`~repro.core.inference.TCrowdModel` via the ``model`` key);
-    ``config["serving"]`` picks the serving mode:
-
-    ========================  =============================================
-    ``shards`` / ``async_refit``  policy served
-    ========================  =============================================
-    unset / false             the plain incremental assigner
-    ``shards`` > 1 only       :class:`~repro.engine.ShardedAssignmentPolicy`
-    ``async_refit`` only      :class:`~repro.engine.AsyncRefitPolicy`
-    both                      :class:`~repro.engine.ShardedAsyncPolicy`
-    ========================  =============================================
+    ``config`` may be a :class:`~repro.config.SessionSpec` or a JSON body
+    in either dialect (v1 spec, or the legacy PR-4 config, upgraded via
+    :func:`parse_config`).  The actual construction — assigner options,
+    model options, and the serving-mode table (plain / sharded / async /
+    composed) — is the shared factory in :mod:`repro.config.factory`.
     """
-    policy_config = dict(config.get("policy") or {})
-    model_config = dict(policy_config.pop("model", None) or {})
-    try:
-        model = TCrowdModel(**model_config)
-    except TypeError as exc:
-        raise ConfigurationError(f"Invalid model options: {exc}") from exc
-    try:
-        assigner = TCrowdAssigner(schema, model=model, **policy_config)
-    except TypeError as exc:
-        raise ConfigurationError(f"Invalid policy options: {exc}") from exc
-
-    serving = dict(config.get("serving") or {})
-    shards = serving.get("shards")
-    shard_workers = serving.get("shard_workers")
-    async_refit = bool(serving.get("async_refit", False))
-    max_stale = serving.get("max_stale_answers", 0)
-    if shards is not None and int(shards) > 1 and async_refit:
-        from repro.engine import ShardedAsyncPolicy
-
-        return ShardedAsyncPolicy(
-            assigner,
-            num_shards=int(shards),
-            max_workers=shard_workers,
-            max_stale_answers=max_stale,
-        )
-    if shards is not None and int(shards) > 1:
-        from repro.engine import ShardedAssignmentPolicy
-
-        return ShardedAssignmentPolicy(
-            assigner, num_shards=int(shards), max_workers=shard_workers
-        )
-    if async_refit:
-        from repro.engine import AsyncRefitPolicy
-
-        return AsyncRefitPolicy(assigner, max_stale_answers=max_stale)
-    return assigner
+    if not isinstance(config, SessionSpec):
+        _envelope, config = parse_config(dict(config))
+    return _build_spec_policy(schema, config)
 
 
 # -- served session -----------------------------------------------------------
@@ -196,17 +187,31 @@ class ServedSession:
         self,
         session_id: str,
         schema: TableSchema,
-        config: dict,
+        spec: SessionSpec,
         durable: DurableSession,
     ) -> None:
         self.session_id = session_id
         self.schema = schema
-        self.config = config
+        self.spec = spec
         self.durable = durable
         self.lock = threading.RLock()
         self.selects_served = 0
         self.answers_ingested = 0
         self.estimate_requests = 0
+
+    def config_payload(self) -> Dict[str, object]:
+        """The canonical v1 spec body (``GET /sessions/{id}/config``).
+
+        Exactly what :meth:`SessionRegistry.create` would need to rebuild
+        this session: the spec's canonical ``to_dict`` form plus the
+        schema/session-id envelope.
+        """
+        payload: Dict[str, object] = {
+            "session_id": self.session_id,
+            "schema": schema_to_dict(self.schema),
+        }
+        payload.update(self.spec.to_dict())
+        return payload
 
     # -- operations (each one critical-sectioned on the session lock) --------
 
@@ -332,30 +337,33 @@ class SessionRegistry:
     # -- creation / recovery -------------------------------------------------
 
     def create(self, config: dict) -> ServedSession:
-        """Create (or recover) a session from its JSON config."""
-        if not isinstance(config, dict):
-            raise ConfigurationError("The session config must be a JSON object")
-        config = dict(config)
-        durable_dir = self._resolve_durable_dir(config)
+        """Create (or recover) a session from its JSON config.
+
+        Accepts the v1 spec body and — via the upgrade shim — the legacy
+        PR-4 dialect (see :func:`parse_config`).
+        """
+        envelope, spec = parse_config(config)
+        durable_dir = self._resolve_durable_dir(envelope, spec)
         if durable_dir is not None and (durable_dir / "session.json").exists():
             return self._register(self._recover(durable_dir))
-        session_id = config.pop("session_id", None) or uuid.uuid4().hex[:12]
-        if durable_dir is None and config.pop("durable", False):
+        session_id = envelope.get("session_id") or uuid.uuid4().hex[:12]
+        if durable_dir is None and envelope.get("durable"):
             raise ConfigurationError(
                 "durable=true needs the server's --durable-root (or an "
-                "explicit durable_dir in the session config)"
+                "explicit durability.durable_dir in the session spec)"
             )
-        session = self._build(session_id, config, durable_dir)
+        if durable_dir is not None:
+            # Pin the resolved directory so the manifest spec is the full,
+            # self-contained truth (a later create() on just that directory
+            # recovers the identical session).
+            spec = spec.with_durable_dir(str(durable_dir))
+        session = self._build(session_id, envelope, spec, durable_dir)
         if durable_dir is not None:
             manifest = {
-                "format": 1,
+                "format": MANIFEST_FORMAT,
                 "session_id": session_id,
                 "schema": schema_to_dict(session.schema),
-                "config": {
-                    key: value
-                    for key, value in config.items()
-                    if key in ("policy", "serving", "snapshot_every", "fsync")
-                },
+                "spec": spec.to_dict(),
             }
             (durable_dir / "session.json").write_text(
                 json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
@@ -385,15 +393,17 @@ class SessionRegistry:
                 )
         return recovered
 
-    def _resolve_durable_dir(self, config: dict) -> Optional[pathlib.Path]:
-        explicit = config.get("durable_dir")
+    def _resolve_durable_dir(
+        self, envelope: dict, spec: SessionSpec
+    ) -> Optional[pathlib.Path]:
+        explicit = spec.durability.durable_dir
         if explicit:
             return pathlib.Path(explicit)
-        if config.get("durable"):
+        if envelope.get("durable"):
             if self.durable_root is None:
                 return None  # create() raises the descriptive error
-            session_id = config.get("session_id") or uuid.uuid4().hex[:12]
-            config["session_id"] = session_id
+            session_id = envelope.get("session_id") or uuid.uuid4().hex[:12]
+            envelope["session_id"] = session_id
             return self.durable_root / session_id
         return None
 
@@ -403,35 +413,39 @@ class SessionRegistry:
                 (durable_dir / "session.json").read_text(encoding="utf-8")
             )
             session_id = manifest["session_id"]
-            config = dict(manifest.get("config") or {})
-            config["schema"] = manifest["schema"]
+            if "spec" in manifest:
+                envelope = {"schema": manifest["schema"]}
+                spec = SessionSpec.from_dict(manifest["spec"])
+            else:
+                # Format-1 manifest (PR-4 legacy config): upgrade in place.
+                config = dict(manifest.get("config") or {})
+                config["schema"] = manifest["schema"]
+                envelope, spec = parse_config(config)
         except (OSError, ValueError, KeyError) as exc:
             raise ConfigurationError(
                 f"Cannot recover session manifest in {durable_dir}: {exc}"
             ) from exc
+        # The directory may have moved since the manifest was written (the
+        # operator relocated --durable-root); trust where we found it.
+        spec = spec.with_durable_dir(str(durable_dir))
         with self._lock:
             if session_id in self._sessions:
                 return self._sessions[session_id]
-        return self._build(session_id, config, durable_dir)
+        return self._build(session_id, envelope, spec, durable_dir)
 
     def _build(
         self,
         session_id: str,
-        config: dict,
+        envelope: dict,
+        spec: SessionSpec,
         durable_dir: Optional[pathlib.Path],
     ) -> ServedSession:
-        schema = resolve_schema(config)
-        policy = build_policy(schema, config)
-        snapshot_every = int(config.get("snapshot_every", 200))
-        require_positive(snapshot_every, "snapshot_every")
-        durable = DurableSession(
-            schema,
-            policy,
-            directory=durable_dir,
-            snapshot_every=snapshot_every,
-            fsync=bool(config.get("fsync", False)),
+        schema = resolve_schema(envelope)
+        policy = _build_spec_policy(schema, spec)
+        durable = build_durable_session(
+            schema, policy, spec, directory=durable_dir
         )
-        return ServedSession(session_id, schema, config, durable)
+        return ServedSession(session_id, schema, spec, durable)
 
     def _register(self, session: ServedSession) -> ServedSession:
         with self._lock:

@@ -1,0 +1,482 @@
+"""The versioned SessionSpec API: validation, round-tripping, factory, CLI.
+
+Three contracts are pinned here:
+
+* **Exact round-trip** — ``SessionSpec.from_dict(to_dict(spec)) == spec``
+  for arbitrary valid specs, *through a JSON encode/decode* (hypothesis
+  property tests; the same float-exact discipline as the WAL codec).
+* **Path-qualified strictness** — every invalid field raises a
+  :class:`~repro.config.SpecValidationError` whose ``path`` names the
+  offending field (``serving.max_stale_answers``), and unknown fields are
+  rejected rather than ignored.
+* **Legacy equivalence** — the pre-spec keyword surfaces (session kwargs,
+  the PR-4 service dialect) adapt to specs that drive byte-identical
+  sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    DurabilitySpec,
+    ModelSpec,
+    PolicySpec,
+    ServingSpec,
+    SessionSpec,
+    SimulationSpec,
+    SpecValidationError,
+    upgrade_legacy_config,
+)
+from repro.config.factory import (
+    build_assigner,
+    build_model,
+    build_policy,
+    wrap_policy,
+)
+from repro.config.validate import main as validate_main
+from repro.utils.exceptions import ConfigurationError
+
+# -- strategies ----------------------------------------------------------------
+
+_floats = dict(allow_nan=False, allow_infinity=False)
+
+model_specs = st.builds(
+    ModelSpec,
+    epsilon=st.floats(min_value=1e-3, max_value=10.0, **_floats),
+    max_iterations=st.integers(min_value=1, max_value=200),
+    tolerance=st.floats(min_value=1e-12, max_value=1e-2, **_floats),
+    m_step_iterations=st.integers(min_value=1, max_value=60),
+    difficulty_regularization=st.floats(min_value=0.0, max_value=5.0, **_floats),
+    phi_regularization=st.floats(min_value=0.0, max_value=1.0, **_floats),
+    use_difficulty=st.booleans(),
+    standardize_continuous=st.booleans(),
+    seed=st.none() | st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+policy_specs = st.builds(
+    PolicySpec,
+    model=model_specs,
+    use_structure=st.booleans(),
+    refit_every=st.integers(min_value=1, max_value=20),
+    continuous_samples=st.just(0),
+    max_answers_per_cell=st.none() | st.integers(min_value=1, max_value=50),
+    min_pairs=st.integers(min_value=0, max_value=20),
+    seed=st.none() | st.integers(min_value=0, max_value=2**31 - 1),
+    warm_start=st.booleans(),
+    vectorized=st.booleans(),
+    incremental=st.booleans(),
+)
+
+serving_specs = st.builds(
+    ServingSpec,
+    shards=st.integers(min_value=1, max_value=16),
+    shard_workers=st.none() | st.integers(min_value=1, max_value=8),
+    async_refit=st.booleans(),
+    max_stale_answers=st.none() | st.integers(min_value=0, max_value=10_000),
+    refit_tol=st.none() | st.floats(min_value=1e-9, max_value=1.0, **_floats),
+)
+
+durability_specs = st.builds(
+    DurabilitySpec,
+    durable_dir=st.none()
+    | st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789/_-.",
+        min_size=1,
+        max_size=40,
+    ),
+    snapshot_every_answers=st.integers(min_value=1, max_value=10_000),
+    wal_fsync=st.booleans(),
+)
+
+
+@st.composite
+def simulation_specs(draw):
+    initial = draw(st.integers(min_value=1, max_value=5))
+    target = initial + draw(st.floats(min_value=0.1, max_value=10.0, **_floats))
+    return SimulationSpec(
+        target_answers_per_task=target,
+        initial_answers_per_task=initial,
+        batch_size=draw(st.none() | st.integers(min_value=1, max_value=30)),
+        eval_every_answers_per_task=draw(
+            st.floats(min_value=0.1, max_value=5.0, **_floats)
+        ),
+        seed=draw(st.none() | st.integers(min_value=0, max_value=2**31 - 1)),
+        max_steps=draw(st.none() | st.integers(min_value=0, max_value=1_000)),
+    )
+
+
+session_specs = st.builds(
+    SessionSpec,
+    policy=policy_specs,
+    serving=serving_specs,
+    durability=durability_specs,
+    simulation=simulation_specs(),
+)
+
+
+# -- round-trip properties -----------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(spec=session_specs)
+    def test_dict_round_trip_is_exact(self, spec):
+        assert SessionSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=200)
+    @given(spec=session_specs)
+    def test_json_round_trip_is_exact(self, spec):
+        """Floats must survive JSON — the WAL codec's repr discipline."""
+        rebuilt = SessionSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    @given(spec=session_specs)
+    def test_specs_are_immutable(self, spec):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.version = 2
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.serving.shards = 99
+
+    def test_sections_may_be_omitted(self):
+        assert SessionSpec.from_dict({"version": 1}) == SessionSpec()
+
+    def test_version_is_required_and_pinned(self):
+        with pytest.raises(SpecValidationError, match="version is required"):
+            SessionSpec.from_dict({})
+        with pytest.raises(SpecValidationError, match="must be 1"):
+            SessionSpec.from_dict({"version": 2})
+
+
+# -- validation ----------------------------------------------------------------
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload, path",
+        [
+            ({"serving": {"shards": 0}}, "serving.shards"),
+            ({"serving": {"shards": "four"}}, "serving.shards"),
+            ({"serving": {"max_stale_answers": -1}}, "serving.max_stale_answers"),
+            ({"serving": {"async_refit": 1}}, "serving.async_refit"),
+            ({"serving": {"refit_tol": 0.0}}, "serving.refit_tol"),
+            ({"serving": {"bogus": True}}, "serving.bogus"),
+            ({"policy": {"refit_every": 0}}, "policy.refit_every"),
+            ({"policy": {"bogus_knob": 1}}, "policy.bogus_knob"),
+            ({"policy": {"model": {"epsilon": 0}}}, "policy.model.epsilon"),
+            ({"policy": {"model": {"bogus": 1}}}, "policy.model.bogus"),
+            ({"policy": {"model": {"tolerance": float("nan")}}},
+             "policy.model.tolerance"),
+            ({"durability": {"snapshot_every_answers": 0}},
+             "durability.snapshot_every_answers"),
+            ({"durability": {"durable_dir": ""}}, "durability.durable_dir"),
+            ({"simulation": {"target_answers_per_task": 0.5}},
+             "simulation.target_answers_per_task"),
+            ({"simulation": {"initial_answers_per_task": 0}},
+             "simulation.initial_answers_per_task"),
+            ({"unknown_section": {}}, "spec.unknown_section"),
+        ],
+    )
+    def test_path_qualified_errors(self, payload, path):
+        with pytest.raises(SpecValidationError) as excinfo:
+            SessionSpec.from_dict({"version": 1, **payload})
+        assert excinfo.value.path == path
+        assert str(excinfo.value).startswith(path)
+
+    def test_errors_are_configuration_errors(self):
+        with pytest.raises(ConfigurationError):
+            ServingSpec(shards=0)
+
+    def test_sharding_rejects_monte_carlo_gains(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            SessionSpec.from_dict(
+                {
+                    "version": 1,
+                    "policy": {"continuous_samples": 4},
+                    "serving": {"shards": 2},
+                }
+            )
+        assert excinfo.value.path == "policy.continuous_samples"
+
+    def test_booleans_are_not_integers(self):
+        with pytest.raises(SpecValidationError, match="serving.shards"):
+            ServingSpec(shards=True)
+
+    def test_max_stale_semantics_are_unified(self):
+        """One default for every entry point: 0 = blocking (bit-exact)."""
+        assert ServingSpec().max_stale_answers == 0
+        assert SessionSpec.from_legacy_kwargs().serving.max_stale_answers == 0
+        assert ServingSpec(max_stale_answers=None).max_stale_answers is None
+        assert "max_stale=unbounded" in ServingSpec(
+            async_refit=True, max_stale_answers=None
+        ).describe()
+
+
+# -- builder -------------------------------------------------------------------
+
+
+class TestBuilder:
+    def test_issue_example_chain(self, tmp_path):
+        spec = (
+            SessionSpec.builder()
+            .sharded(4)
+            .async_refit(max_stale=64)
+            .durable(tmp_path)
+            .build()
+        )
+        assert spec.serving == ServingSpec(
+            shards=4, async_refit=True, max_stale_answers=64
+        )
+        assert spec.durability.durable_dir == str(tmp_path)
+        assert spec.describe() == "sharded x4 + async refit (max_stale=64) [durable]"
+
+    def test_empty_builder_is_default_spec(self):
+        assert SessionSpec.builder().build() == SessionSpec()
+
+    def test_builder_validates_at_build(self):
+        builder = SessionSpec.builder().sharded(0)
+        with pytest.raises(SpecValidationError, match="serving.shards"):
+            builder.build()
+
+    def test_with_durable_dir(self, tmp_path):
+        spec = SessionSpec().with_durable_dir(tmp_path)
+        assert spec.durability.durable_dir == str(tmp_path)
+        assert spec.with_durable_dir(None).durability.durable_dir is None
+
+    def test_builder_durability_and_serving_sections(self, tmp_path):
+        spec = (
+            SessionSpec.builder()
+            .durable(tmp_path, snapshot_every_answers=25, wal_fsync=True)
+            .serving(shard_workers=2, shards=3)
+            .sharded(4, workers=3)
+            .build()
+        )
+        assert spec.durability == DurabilitySpec(
+            durable_dir=str(tmp_path), snapshot_every_answers=25, wal_fsync=True
+        )
+        # later builder calls win
+        assert spec.serving.shards == 4
+        assert spec.serving.shard_workers == 3
+
+    def test_split_envelope_rejects_non_objects(self):
+        from repro.config import split_envelope
+
+        with pytest.raises(SpecValidationError, match="JSON object"):
+            split_envelope(["not", "a", "dict"])
+        envelope, payload = split_envelope(
+            {"version": 1, "schema": {"a": 1}, "durable": True}
+        )
+        assert envelope == {"schema": {"a": 1}, "durable": True}
+        assert payload == {"version": 1}
+
+
+# -- legacy adapters -----------------------------------------------------------
+
+
+class TestLegacyAdapters:
+    def test_from_legacy_kwargs_maps_every_field(self, tmp_path):
+        spec = SessionSpec.from_legacy_kwargs(
+            target_answers_per_task=3.0,
+            initial_answers_per_task=2,
+            batch_size=5,
+            eval_every_answers_per_task=0.25,
+            seed=11,
+            max_steps=40,
+            shards=3,
+            shard_workers=2,
+            async_refit=True,
+            max_stale_answers=None,
+            durable_dir=tmp_path,
+            snapshot_every_answers=50,
+            wal_fsync=True,
+        )
+        assert spec.serving == ServingSpec(
+            shards=3, shard_workers=2, async_refit=True, max_stale_answers=None
+        )
+        assert spec.durability == DurabilitySpec(
+            durable_dir=str(tmp_path), snapshot_every_answers=50, wal_fsync=True
+        )
+        assert spec.simulation == SimulationSpec(
+            target_answers_per_task=3.0,
+            initial_answers_per_task=2,
+            batch_size=5,
+            eval_every_answers_per_task=0.25,
+            seed=11,
+            max_steps=40,
+        )
+
+    @settings(max_examples=100)
+    @given(
+        shards=st.none() | st.integers(min_value=0, max_value=8),
+        shard_workers=st.none() | st.integers(min_value=1, max_value=4),
+        async_refit=st.booleans(),
+        max_stale=st.none() | st.integers(min_value=0, max_value=200),
+        target=st.floats(min_value=1.1, max_value=8.0, **_floats),
+        seed=st.none() | st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_legacy_kwargs_produce_round_trippable_specs(
+        self, shards, shard_workers, async_refit, max_stale, target, seed
+    ):
+        """legacy kwargs → spec → JSON → spec is lossless for any input."""
+        spec = SessionSpec.from_legacy_kwargs(
+            shards=shards,
+            shard_workers=shard_workers,
+            async_refit=async_refit,
+            max_stale_answers=max_stale,
+            target_answers_per_task=target,
+            seed=seed,
+        )
+        assert SessionSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+        assert spec.serving.shards == (shards if shards else 1)
+        assert spec.serving.max_stale_answers == max_stale
+
+    def test_from_legacy_kwargs_drops_non_integer_seeds(self):
+        import numpy as np
+
+        spec = SessionSpec.from_legacy_kwargs(seed=np.random.default_rng(0))
+        assert spec.simulation.seed is None
+
+    def test_upgrade_legacy_service_config(self):
+        upgraded = upgrade_legacy_config(
+            {
+                "schema": {"num_rows": 4},
+                "session_id": "abc",
+                "durable": True,
+                "policy": {"refit_every": 2, "refit_tol": 1e-3,
+                           "model": {"max_iterations": 7}},
+                "serving": {"shards": None, "async_refit": True,
+                            "max_stale_answers": 9},
+                "snapshot_every": 33,
+                "fsync": True,
+            }
+        )
+        assert upgraded["version"] == 1
+        assert upgraded["schema"] == {"num_rows": 4}
+        assert upgraded["session_id"] == "abc"
+        assert upgraded["durable"] is True
+        spec = SessionSpec.from_dict(
+            {k: v for k, v in upgraded.items()
+             if k in ("version", "policy", "serving", "durability", "simulation")}
+        )
+        assert spec.policy.refit_every == 2
+        assert spec.policy.model.max_iterations == 7
+        assert spec.serving == ServingSpec(
+            shards=1, async_refit=True, max_stale_answers=9, refit_tol=1e-3
+        )
+        assert spec.durability == DurabilitySpec(
+            snapshot_every_answers=33, wal_fsync=True
+        )
+
+    def test_upgrade_rejects_unknown_keys(self):
+        with pytest.raises(SpecValidationError, match="frobnicate"):
+            upgrade_legacy_config({"frobnicate": 1})
+
+
+# -- factory -------------------------------------------------------------------
+
+
+class TestFactory:
+    def test_build_model_and_assigner_defaults(self, mixed_schema):
+        spec = SessionSpec()
+        model = build_model(spec.policy.model)
+        assert model.max_iterations == 50
+        assigner = build_assigner(mixed_schema, spec)
+        assert assigner.refit_every == 1
+        assert assigner.refit_tol is None
+
+    def test_refit_tol_rides_the_serving_section(self, mixed_schema):
+        spec = SessionSpec.builder().serving(refit_tol=1e-4).build()
+        assert build_assigner(mixed_schema, spec).refit_tol == 1e-4
+
+    def test_build_policy_modes(self, mixed_schema):
+        fast = {"max_iterations": 3, "m_step_iterations": 6}
+        plain = build_policy(mixed_schema, SessionSpec.builder().model(**fast).build())
+        assert type(plain).__name__ == "TCrowdAssigner"
+        for build, expected in [
+            (SessionSpec.builder().model(**fast).sharded(2), "[sharded x2]"),
+            (SessionSpec.builder().model(**fast).async_refit(), "[async refit]"),
+            (
+                SessionSpec.builder().model(**fast).sharded(2).async_refit(),
+                "[sharded x2 + async refit]",
+            ),
+        ]:
+            policy = build_policy(mixed_schema, build.build())
+            try:
+                assert policy.name.endswith(expected)
+            finally:
+                policy.close()
+
+    def test_wrap_policy_requires_tcrowd_assigner(self, mixed_schema):
+        from repro.baselines.assignment_simple import RandomAssigner
+
+        with pytest.raises(ConfigurationError, match="TCrowdAssigner"):
+            wrap_policy(
+                RandomAssigner(mixed_schema, seed=0), ServingSpec(shards=2)
+            )
+
+    def test_wrap_policy_passthrough_for_default_serving(self, mixed_schema):
+        spec = SessionSpec()
+        assigner = build_assigner(mixed_schema, spec)
+        assert wrap_policy(assigner, spec.serving) is assigner
+
+
+# -- the validate CLI ----------------------------------------------------------
+
+
+class TestValidateCLI:
+    def test_validates_the_committed_examples(self, capsys):
+        import glob
+        import pathlib
+
+        examples = sorted(
+            glob.glob(str(pathlib.Path(__file__).parent.parent / "examples" / "*.json"))
+        )
+        assert examples, "examples/*.json must exist (the lint job checks them)"
+        assert validate_main(examples) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == len(examples)
+
+    def test_reports_the_validation_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"version": 1, "serving": {"max_stale_answers": -1}}),
+            encoding="utf-8",
+        )
+        assert validate_main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "serving.max_stale_answers" in err
+
+    def test_reports_non_json_files(self, tmp_path, capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{nope", encoding="utf-8")
+        assert validate_main([str(broken)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_accepts_service_envelopes(self, tmp_path):
+        body = tmp_path / "envelope.json"
+        body.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "dataset": {"name": "celebrity", "num_rows": 8},
+                    "durable": True,
+                    "serving": {"shards": 2},
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert validate_main([str(body)]) == 0
+
+    def test_rejects_malformed_envelopes(self, tmp_path, capsys):
+        body = tmp_path / "envelope.json"
+        body.write_text(
+            json.dumps({"version": 1, "durable": "yes"}), encoding="utf-8"
+        )
+        assert validate_main([str(body)]) == 1
+        assert "durable" in capsys.readouterr().err

@@ -61,7 +61,29 @@ SCENARIO = {
 CONFIGS = ("incremental", "sharded", "async_refit", "sharded_async")
 
 
+#: Serving section of each matrix configuration — every policy is built
+#: through the shared spec factory (`repro.config.factory.wrap_policy`),
+#: the same wrapper-selection path `CrowdsourcingSession.from_spec` and the
+#: HTTP service use, so the fixture pins the spec-built policies too.
+_SERVING = {
+    "incremental": {},
+    "sharded": {"shards": SCENARIO["num_shards"]},
+    "async_refit": {"async_refit": True, "max_stale_answers": 0},
+    "sharded_async": {
+        "shards": SCENARIO["num_shards"],
+        "async_refit": True,
+        "max_stale_answers": 0,
+    },
+}
+
+
 def _build_policy(config: str, schema):
+    from repro.config import ServingSpec
+    from repro.config.factory import wrap_policy
+    from repro.engine import VirtualClock
+
+    if config not in _SERVING:
+        raise ValueError(f"unknown config {config!r}")
     inner = TCrowdAssigner(
         schema,
         model=TCrowdModel(**SCENARIO["model_kwargs"]),
@@ -70,28 +92,9 @@ def _build_policy(config: str, schema):
         vectorized=True,
         incremental=True,
     )
-    if config == "incremental":
-        return inner, inner
-    if config == "sharded":
-        from repro.engine import ShardedAssignmentPolicy
-
-        return ShardedAssignmentPolicy(inner, num_shards=SCENARIO["num_shards"]), inner
-    if config == "async_refit":
-        from repro.engine import AsyncRefitPolicy, VirtualClock
-
-        policy = AsyncRefitPolicy(inner, max_stale_answers=0, clock=VirtualClock())
-        return policy, inner
-    if config == "sharded_async":
-        from repro.engine import ShardedAsyncPolicy, VirtualClock
-
-        policy = ShardedAsyncPolicy(
-            inner,
-            num_shards=SCENARIO["num_shards"],
-            max_stale_answers=0,
-            clock=VirtualClock(),
-        )
-        return policy, inner
-    raise ValueError(f"unknown config {config!r}")
+    serving = ServingSpec(**_SERVING[config])
+    clock = VirtualClock() if serving.async_refit else None
+    return wrap_policy(inner, serving, clock=clock), inner
 
 
 def replay_session(config: str):

@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines.assignment_simple import RandomAssigner
 from repro.baselines.combined import CombinedInference
+from repro.config import SessionSpec
 from repro.core.assignment import TCrowdAssigner
 from repro.core.inference import TCrowdModel
 from repro.datasets import WorkerPool, generate_synthetic
@@ -246,30 +247,50 @@ class TestAsyncRefitSession:
             answers_per_task=2, num_workers=12, seed=9,
         )
 
-    def _session(self, dataset, **kwargs):
+    @staticmethod
+    def _spec_builder():
+        return (
+            SessionSpec.builder()
+            .model(max_iterations=4, m_step_iterations=8)
+            .policy(refit_every=1)
+            .simulation(
+                target_answers_per_task=1.6,
+                eval_every_answers_per_task=0.5,
+                seed=6,
+            )
+        )
+
+    def _session(self, dataset, spec=None):
+        spec = spec if spec is not None else self._spec_builder().build()
         model = TCrowdModel(max_iterations=4, m_step_iterations=8)
         policy = TCrowdAssigner(
             dataset.schema, model=model, refit_every=1,
         )
-        return CrowdsourcingSession(
-            dataset, policy, model,
-            target_answers_per_task=1.6,
-            eval_every_answers_per_task=0.5,
-            seed=6,
-            **kwargs,
-        )
+        return CrowdsourcingSession(dataset, policy, model, spec=spec)
 
     def test_async_exact_session_replays_synchronous_trace(self, async_dataset):
         sync_trace = self._session(async_dataset).run()
         async_trace = self._session(
-            async_dataset, async_refit=True, max_stale_answers=0
+            async_dataset,
+            spec=self._spec_builder().async_refit(max_stale=0).build(),
         ).run()
         assert async_trace.records == sync_trace.records
         assert async_trace.policy_name.endswith("[async refit]")
 
+    def test_from_spec_builds_policy_and_inference(self, async_dataset):
+        """from_spec needs nothing but the dataset and the spec document."""
+        spec = self._spec_builder().build()
+        session = CrowdsourcingSession.from_spec(async_dataset, spec)
+        assert session.spec is spec
+        trace = session.run()
+        assert trace.final.answers_per_task > 1.0
+        reference = CrowdsourcingSession.from_spec(async_dataset, spec).run()
+        assert trace.records == reference.records
+
     def test_bounded_staleness_session_completes(self, async_dataset):
         trace = self._session(
-            async_dataset, async_refit=True, max_stale_answers=6
+            async_dataset,
+            spec=self._spec_builder().async_refit(max_stale=6).build(),
         ).run()
         assert trace.final.answers_per_task > 1.0
         assert trace.final.error_rate is not None
@@ -277,31 +298,106 @@ class TestAsyncRefitSession:
     def test_composed_sharded_async_session_replays_synchronous_trace(
         self, async_dataset
     ):
-        """shards + async_refit now compose (ShardedAsyncPolicy) instead of
-        raising; at max_stale_answers=0 the composed session must replay the
+        """shards + async_refit compose (ShardedAsyncPolicy); at
+        max_stale_answers=0 the composed session must replay the
         synchronous trace bit for bit."""
         sync_trace = self._session(async_dataset).run()
         composed_trace = self._session(
-            async_dataset, async_refit=True, shards=2, max_stale_answers=0
+            async_dataset,
+            spec=self._spec_builder().sharded(2).async_refit(max_stale=0).build(),
         ).run()
         assert composed_trace.records == sync_trace.records
         assert composed_trace.policy_name.endswith("[sharded x2 + async refit]")
 
     def test_composed_session_with_bounded_staleness_completes(self, async_dataset):
         trace = self._session(
-            async_dataset, async_refit=True, shards=2, max_stale_answers=6
+            async_dataset,
+            spec=self._spec_builder().sharded(2).async_refit(max_stale=6).build(),
         ).run()
         assert trace.final.answers_per_task > 1.0
 
     def test_async_requires_tcrowd_policy(self, async_dataset):
         model = TCrowdModel(max_iterations=4, m_step_iterations=8)
+        spec = SessionSpec.builder().async_refit().simulation(
+            target_answers_per_task=2.0
+        ).build()
         with pytest.raises(ConfigurationError):
             CrowdsourcingSession(
                 async_dataset,
                 RandomAssigner(async_dataset.schema, seed=0),
                 model,
-                target_answers_per_task=2.0,
+                spec=spec,
+            )
+
+
+class TestLegacyKwargsShim:
+    """The pre-spec keyword surface keeps working, with a DeprecationWarning."""
+
+    @pytest.fixture(scope="class")
+    def shim_dataset(self):
+        return generate_synthetic(
+            num_rows=6, num_columns=3, categorical_ratio=0.5,
+            answers_per_task=2, num_workers=10, seed=21,
+        )
+
+    def _policy(self, dataset):
+        return TCrowdAssigner(
+            dataset.schema,
+            model=TCrowdModel(max_iterations=3, m_step_iterations=6),
+            refit_every=1,
+        )
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_legacy_serving_kwargs_warn_and_match_spec_path(self, shim_dataset):
+        with pytest.warns(DeprecationWarning, match="async_refit.*shards"):
+            legacy = CrowdsourcingSession(
+                shim_dataset,
+                self._policy(shim_dataset),
+                TCrowdModel(max_iterations=3, m_step_iterations=6),
+                target_answers_per_task=1.5,
+                seed=13,
+                shards=2,
                 async_refit=True,
+                max_stale_answers=0,
+            )
+        spec = (
+            SessionSpec.builder()
+            .sharded(2)
+            .async_refit(max_stale=0)
+            .simulation(target_answers_per_task=1.5, seed=13)
+            .build()
+        )
+        assert legacy.spec == spec
+        via_spec = CrowdsourcingSession(
+            shim_dataset,
+            self._policy(shim_dataset),
+            TCrowdModel(max_iterations=3, m_step_iterations=6),
+            spec=spec,
+        )
+        assert legacy.run().records == via_spec.run().records
+
+    def test_simulation_kwargs_do_not_warn(self, shim_dataset, recwarn):
+        CrowdsourcingSession(
+            shim_dataset,
+            self._policy(shim_dataset),
+            TCrowdModel(max_iterations=3, m_step_iterations=6),
+            target_answers_per_task=1.5,
+            seed=13,
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_spec_and_legacy_kwargs_are_mutually_exclusive(self, shim_dataset):
+        with pytest.raises(ConfigurationError, match="not both"):
+            CrowdsourcingSession(
+                shim_dataset,
+                self._policy(shim_dataset),
+                TCrowdModel(max_iterations=3, m_step_iterations=6),
+                target_answers_per_task=1.5,
+                spec=SessionSpec.builder().simulation(
+                    target_answers_per_task=1.5
+                ).build(),
             )
 
     def test_single_worker_session_stops_gracefully(self):

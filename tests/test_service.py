@@ -15,11 +15,13 @@ import threading
 
 import pytest
 
+from repro.config import SessionSpec
 from repro.service.app import ServiceServer
 from repro.service.bench import ServiceClient, measure_serving
 from repro.service.registry import (
     SessionRegistry,
     build_policy,
+    parse_config,
     resolve_schema,
     schema_from_dict,
     schema_to_dict,
@@ -173,6 +175,69 @@ class TestSessionLifecycle:
         assert "sharded" in created["policy"]
         client.delete_session(created["session_id"])
 
+    def test_v1_spec_body_and_config_endpoint(self, client):
+        """POST a canonical v1 spec; GET /config must serve it back."""
+        spec = (
+            SessionSpec.builder()
+            .model(**FAST_MODEL)
+            .policy(refit_every=1)
+            .sharded(2)
+            .async_refit(max_stale=0)
+            .build()
+        )
+        created = client.create_session({"schema": SCHEMA_SPEC, **spec.to_dict()})
+        session_id = created["session_id"]
+        assert "sharded x2 + async refit" in created["policy"]
+
+        status, config = client.request(
+            "GET", f"/sessions/{session_id}/config"
+        )
+        assert status == 200
+        assert config["session_id"] == session_id
+        assert config["version"] == 1
+        assert schema_from_dict(config["schema"]) == schema_from_dict(SCHEMA_SPEC)
+        served_spec = SessionSpec.from_dict(
+            {k: v for k, v in config.items() if k not in ("schema", "session_id")}
+        )
+        assert served_spec == spec
+        # A spec body round-trips: re-posting the served config under a new
+        # id must build the same serving mode.
+        twin = client.create_session({**config, "session_id": "twin-config"})
+        assert twin["policy"] == created["policy"]
+        client.delete_session("twin-config")
+        client.delete_session(session_id)
+
+    def test_legacy_config_upgrades_to_canonical_spec(self, client):
+        """The PR-4 dialect still creates; /config serves the v1 upgrade."""
+        created = client.create_session(
+            {
+                "schema": SCHEMA_SPEC,
+                "policy": {"refit_every": 1, "refit_tol": 1e-3,
+                           "model": dict(FAST_MODEL)},
+                "serving": {"shards": None, "async_refit": True,
+                            "max_stale_answers": 7},
+                "snapshot_every": 50,
+            }
+        )
+        session_id = created["session_id"]
+        status, config = client.request("GET", f"/sessions/{session_id}/config")
+        assert status == 200
+        assert config["version"] == 1
+        assert config["serving"]["shards"] == 1
+        assert config["serving"]["max_stale_answers"] == 7
+        assert config["serving"]["refit_tol"] == 1e-3
+        assert config["durability"]["snapshot_every_answers"] == 50
+        client.delete_session(session_id)
+
+    def test_config_endpoint_is_get_only_and_404s(self, client):
+        assert client.request("GET", "/sessions/nope/config")[0] == 404
+        session_id = client.create_session(_config())["session_id"]
+        assert (
+            client.request("POST", f"/sessions/{session_id}/config", {"x": 1})[0]
+            == 405
+        )
+        client.delete_session(session_id)
+
     def test_worker_exhaustion_maps_to_409(self, client):
         config = _config()
         config["policy"]["max_answers_per_cell"] = 1
@@ -277,6 +342,24 @@ class TestErrorContract:
             "POST", "/sessions", _config(durable=True)
         )
         assert status == 400  # server has no --durable-root
+
+    def test_invalid_spec_400_carries_the_validation_path(self, client):
+        cases = [
+            ({"version": 1, "schema": SCHEMA_SPEC,
+              "serving": {"max_stale_answers": -1}},
+             "serving.max_stale_answers"),
+            ({"version": 1, "schema": SCHEMA_SPEC, "serving": {"shards": 0}},
+             "serving.shards"),
+            ({"version": 1, "schema": SCHEMA_SPEC,
+              "policy": {"bogus_knob": 1}},
+             "policy.bogus_knob"),
+            ({"version": 2, "schema": SCHEMA_SPEC}, "version"),
+        ]
+        for payload, path in cases:
+            status, body = client.request("POST", "/sessions", payload)
+            assert status == 400, (payload, status, body)
+            assert body["path"] == path, body
+            assert body["error"].startswith(path), body
 
     def test_wrong_method_is_405(self, client):
         assert client.request("POST", "/healthz", {"x": 1})[0] == 405
@@ -402,6 +485,81 @@ class TestDurableSessionsOverHTTP:
         assert fresh.recover_all() == [session_id]
         assert "skipping unrecoverable" in capsys.readouterr().err
         fresh.close_all()
+
+    def test_manifest_pins_the_canonical_spec(self, tmp_path):
+        import json as json_module
+
+        durable_dir = tmp_path / "pinned"
+        registry = SessionRegistry()
+        session = registry.create(
+            {
+                "version": 1,
+                "schema": SCHEMA_SPEC,
+                "policy": {"model": dict(FAST_MODEL)},
+                "serving": {"shards": 2},
+                "durability": {"durable_dir": str(durable_dir),
+                               "snapshot_every_answers": 10},
+            }
+        )
+        manifest = json_module.loads(
+            (durable_dir / "session.json").read_text(encoding="utf-8")
+        )
+        assert manifest["format"] == 2
+        spec = SessionSpec.from_dict(manifest["spec"])
+        assert spec.serving.shards == 2
+        assert spec.durability.durable_dir == str(durable_dir)
+        assert session.config_payload()["serving"]["shards"] == 2
+        registry.close_all()
+        # Recovery rebuilds the identical spec from the manifest alone.
+        fresh = SessionRegistry()
+        recovered = fresh.create({"durable_dir": str(durable_dir)})
+        assert recovered.spec == spec
+        fresh.close_all()
+
+    def test_format1_manifest_recovers_through_the_upgrade_shim(self, tmp_path):
+        import json as json_module
+
+        durable_dir = tmp_path / "old-format"
+        registry = SessionRegistry()
+        session = registry.create(
+            _config(durable_dir=str(durable_dir), snapshot_every=10)
+        )
+        session_id = session.session_id
+        registry.close_all()
+        # Rewrite the manifest the way PR 4 wrote it: legacy config dialect.
+        manifest_path = durable_dir / "session.json"
+        manifest = json_module.loads(manifest_path.read_text(encoding="utf-8"))
+        legacy_manifest = {
+            "format": 1,
+            "session_id": session_id,
+            "schema": manifest["schema"],
+            "config": {
+                "policy": {"refit_every": 1, "model": dict(FAST_MODEL)},
+                "snapshot_every": 10,
+            },
+        }
+        manifest_path.write_text(
+            json_module.dumps(legacy_manifest), encoding="utf-8"
+        )
+        fresh = SessionRegistry()
+        recovered = fresh.create({"durable_dir": str(durable_dir)})
+        assert recovered.session_id == session_id
+        assert recovered.spec.durability.snapshot_every_answers == 10
+        assert recovered.spec.policy.refit_every == 1
+        fresh.close_all()
+
+    def test_parse_config_dialect_detection(self):
+        envelope, spec = parse_config(
+            {"version": 1, "schema": SCHEMA_SPEC, "serving": {"shards": 3}}
+        )
+        assert envelope == {"schema": SCHEMA_SPEC}
+        assert spec.serving.shards == 3
+        envelope, spec = parse_config(
+            {"schema": SCHEMA_SPEC, "serving": {"shards": 3},
+             "snapshot_every": 9}
+        )
+        assert spec.serving.shards == 3
+        assert spec.durability.snapshot_every_answers == 9
 
     def test_duplicate_session_id_rejected(self, tmp_path):
         registry = SessionRegistry()

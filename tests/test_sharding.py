@@ -270,15 +270,19 @@ class TestShardedAssignmentPolicy:
             ShardedAssignmentPolicy(inner, num_shards=2)
 
     def test_platform_session_shards_knob(self, dataset):
+        from repro.config import SessionSpec
+
         def trace(shards):
+            builder = SessionSpec.builder().simulation(
+                target_answers_per_task=2.5, seed=11, max_steps=8
+            )
+            if shards:
+                builder.sharded(shards)
             return CrowdsourcingSession(
                 dataset,
                 self._assigner(dataset),
                 _fast_model(),
-                target_answers_per_task=2.5,
-                seed=11,
-                max_steps=8,
-                shards=shards,
+                spec=builder.build(),
             ).run()
 
         plain = trace(None)
@@ -296,12 +300,15 @@ class TestShardedAssignmentPolicy:
 
     def test_platform_session_rejects_non_tcrowd_policy(self, dataset):
         from repro.baselines.assignment_simple import RandomAssigner
+        from repro.config import SessionSpec
 
+        spec = SessionSpec.builder().sharded(2).simulation(
+            target_answers_per_task=2.0
+        ).build()
         with pytest.raises(ConfigurationError):
             CrowdsourcingSession(
                 dataset,
                 RandomAssigner(dataset.schema, seed=1),
                 _fast_model(),
-                target_answers_per_task=2.0,
-                shards=2,
+                spec=spec,
             )
