@@ -1,17 +1,19 @@
 """CI perf-regression gate over the engine benchmark.
 
 Compares a fresh ``benchmarks/run_bench.py --smoke`` result against the
-committed full-size baseline (``BENCH_engine.json``) and fails the build
-when either
+committed smoke-tier baseline (``BENCH_engine.json``, recorded with
+``--profile --scale``) and fails the build when either
 
 * an equivalence bit flipped — ``identical_assignments`` (exact engine path
   vs seed path), ``identical_assignments_sharded`` (partitioned top-K vs
   seed path), ``identical_assignments_async`` (async serving path at
   ``max_stale_answers=0`` vs seed path),
   ``identical_assignments_sharded_async`` (the composed sharded+async
-  policy) or ``recovery_identical`` (WAL+snapshot crash recovery replays
-  the session bit for bit) is false, which is a correctness regression,
-  never noise; or
+  policy), ``identical_estimates_sharded_async`` (the composed equivalence
+  run's *final truth estimates* match the seed path's exactly — the check
+  that would catch a stale scoring-cache hit) or ``recovery_identical``
+  (WAL+snapshot crash recovery replays the session bit for bit) is false,
+  which is a correctness regression, never noise; or
 * the HTTP serving throughput (``serve_requests_per_sec``) of the smoke
   run dropped below ``baseline * serve-headroom`` — the smoke server
   serves a *smaller* table than the baseline run, so a smoke run slower
@@ -19,11 +21,18 @@ when either
   layer itself regressed; or
 * the engine-path speedup of the smoke run dropped below a floor derived
   from the committed baseline: ``floor = baseline_speedup * headroom``.
-  The headroom (default 0.35) absorbs two effects at once — the smoke
-  scenario is far smaller than the baseline scenario (EM dominates, so the
-  candidate-scan savings shrink: ~1.7x smoke vs ~3.4x full on the reference
-  machine) and shared CI runners jitter.  An engine path that regressed to
-  the seed path's speed (speedup ~1.0) still trips the floor.
+  The headroom (default 0.35) absorbs shared-runner jitter — the committed
+  baseline is itself a smoke-tier run (best-of-N wall clock, see
+  ``run_bench.py --repeats``), so baseline and candidate measure the same
+  scenario; on a noisy single-core runner even best-of-N ratios can swing.
+  An engine path that regressed to the seed path's speed (speedup ~1.0)
+  still trips the floor, and the composed serving mode additionally
+  carries an absolute 1.5x floor.
+
+The baseline itself is validated too: it must be the smoke-tier reference
+with the ``--scale`` tier entry (>= 10k rows) and the ``--profile``
+per-stage breakdown recorded, and its ``speedup_sharded_async`` must meet
+the same absolute 1.5x floor the candidate is held to.
 
 Usage::
 
@@ -53,7 +62,8 @@ def main(argv=None) -> int:
         "--baseline",
         type=pathlib.Path,
         default=pathlib.Path("BENCH_engine.json"),
-        help="committed full-size baseline (provides the speedup floor)",
+        help="committed smoke-tier baseline with --profile and --scale "
+        "recorded (provides the speedup floors)",
     )
     parser.add_argument(
         "--candidate",
@@ -66,7 +76,7 @@ def main(argv=None) -> int:
         type=float,
         default=0.35,
         help="fraction of the baseline speedup the candidate must reach "
-        "(absorbs smoke-vs-full scale and runner noise)",
+        "(absorbs runner noise; baseline and candidate are both smoke-tier)",
     )
     parser.add_argument(
         "--serve-headroom",
@@ -82,10 +92,26 @@ def main(argv=None) -> int:
     candidate = load(args.candidate)
     failures = []
 
-    if baseline.get("smoke"):
+    # The committed baseline is the smoke-tier reference (same scenario the
+    # CI candidate measures, so floors compare like with like), and it must
+    # carry the scaled tier and the profile breakdown: losing either in a
+    # baseline refresh would silently drop the coverage they provide.
+    if int(baseline.get("scale_num_rows") or 0) < 10_000:
         failures.append(
-            f"baseline {args.baseline} is a smoke run; commit a full "
-            "`python benchmarks/run_bench.py` result as the baseline"
+            f"baseline {args.baseline} has no --scale tier entry of >= 10k "
+            "rows; regenerate it with `run_bench.py --smoke --shards 4 "
+            "--async-refit --serve --profile --scale`"
+        )
+    if "profile_stages" not in baseline:
+        failures.append(
+            f"baseline {args.baseline} has no profile_stages breakdown; "
+            "regenerate it with --profile"
+        )
+    if float(baseline.get("speedup_sharded_async") or 0.0) < 1.5:
+        failures.append(
+            "baseline speedup_sharded_async "
+            f"{baseline.get('speedup_sharded_async')} is below the 1.5x "
+            "floor the composed serving mode is held to"
         )
 
     if not candidate.get("identical_assignments", False):
@@ -126,6 +152,18 @@ def main(argv=None) -> int:
             "sharded+async policy at max_stale_answers=0 no longer replays "
             "the seed path's assignment sequence"
         )
+    if "identical_estimates_sharded_async" not in candidate:
+        failures.append(
+            "candidate has no identical_estimates_sharded_async field: the "
+            "smoke run must include the composed path (run_bench.py "
+            "--shards >= 2 --async-refit)"
+        )
+    elif not candidate["identical_estimates_sharded_async"]:
+        failures.append(
+            "identical_estimates_sharded_async is false: the composed "
+            "sharded+async equivalence run's final truth estimates differ "
+            "from the seed path's (stale snapshot or scoring-cache hit?)"
+        )
     if "recovery_identical" not in candidate:
         failures.append(
             "candidate has no recovery_identical field: the smoke run must "
@@ -160,7 +198,9 @@ def main(argv=None) -> int:
         )
 
     floors = {}
-    for field in ("speedup", "speedup_sharded", "speedup_async"):
+    for field in (
+        "speedup", "speedup_sharded", "speedup_async", "speedup_sharded_async"
+    ):
         if field not in baseline and field != "speedup":
             continue  # older baselines predate the sharded/async paths
         baseline_speedup = float(baseline.get(field, 0.0))
@@ -170,8 +210,17 @@ def main(argv=None) -> int:
         # ratio is engine-relative and sits near 1.77x, so a 1.0 clamp would
         # leave it no headroom at all on a jittery smoke runner — it keeps
         # the plain baseline*headroom floor (the full-size run_bench.py
-        # enforces the absolute >= 1.2x target).
-        minimum = 1.0 if field != "speedup_async" else 0.0
+        # enforces the absolute >= 1.2x target).  The composed path is this
+        # codebase's production serving mode: after the stacked-scoring +
+        # scoring-cache speed pass it clears 1.5x even at smoke size, and
+        # that absolute floor is the contract run_bench.py enforces at full
+        # size, so the gate pins it here too.
+        if field == "speedup_sharded_async":
+            minimum = 1.5
+        elif field == "speedup_async":
+            minimum = 0.0
+        else:
+            minimum = 1.0
         floor = max(baseline_speedup * args.headroom, minimum)
         floors[field] = (baseline_speedup, candidate_speedup, floor)
         if candidate_speedup < floor:
@@ -192,6 +241,8 @@ def main(argv=None) -> int:
         f"identical_async={candidate.get('identical_assignments_async')}, "
         f"identical_sharded_async="
         f"{candidate.get('identical_assignments_sharded_async')}, "
+        f"identical_estimates_sharded_async="
+        f"{candidate.get('identical_estimates_sharded_async')}, "
         f"recovery_identical={candidate.get('recovery_identical')}"
     )
     if failures:

@@ -82,6 +82,7 @@ def wrap_policy(
             num_shards=serving.shards,
             max_workers=serving.shard_workers,
             max_stale_answers=serving.max_stale_answers,
+            scoring_cache=serving.scoring_cache,
             clock=clock,
         )
     if serving.shards > 1:

@@ -171,6 +171,7 @@ class ModelSpec:
     use_difficulty: bool = True
     standardize_continuous: bool = True
     seed: Optional[int] = None
+    m_step: str = "lbfgs"
 
     def __post_init__(self) -> None:
         s = self._SECTION
@@ -194,6 +195,12 @@ class ModelSpec:
              _check_bool(f"{s}.standardize_continuous",
                          self.standardize_continuous))
         set_(self, "seed", _check_int(f"{s}.seed", self.seed, 0, optional=True))
+        m_step = _check_str(f"{s}.m_step", self.m_step)
+        if m_step not in ("lbfgs", "newton"):
+            raise SpecValidationError(
+                f"{s}.m_step", f"must be 'lbfgs' or 'newton', got {m_step!r}"
+            )
+        set_(self, "m_step", m_step)
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -292,6 +299,11 @@ class ServingSpec:
     warm-started serving refits (``TCrowdAssigner(refit_tol=...)``); it
     lives here rather than in :class:`PolicySpec` because it tunes the
     serving loop, not the paper's algorithm.
+
+    ``scoring_cache`` (composed mode only) reuses the snapshot-derived gain
+    calculator across selects, keyed by ``(epoch, answers_seen)``; the
+    cache is behaviour-neutral (a hit requires the exact inputs a rebuild
+    would use) and exists purely as an escape hatch for debugging.
     """
 
     _SECTION: ClassVar[str] = "serving"
@@ -301,6 +313,7 @@ class ServingSpec:
     async_refit: bool = False
     max_stale_answers: Optional[int] = 0
     refit_tol: Optional[float] = None
+    scoring_cache: bool = True
 
     def __post_init__(self) -> None:
         s = self._SECTION
@@ -317,6 +330,8 @@ class ServingSpec:
         set_(self, "refit_tol",
              _check_float(f"{s}.refit_tol", self.refit_tol, 0.0,
                           exclusive=True, optional=True))
+        set_(self, "scoring_cache",
+             _check_bool(f"{s}.scoring_cache", self.scoring_cache))
 
     @property
     def wants_wrapper(self) -> bool:

@@ -107,7 +107,25 @@ def merge_top_k_stable(parts: Sequence[np.ndarray], k: int) -> np.ndarray:
     ``k`` elements of that same part), so a heap merge of the per-part heads
     by ``(-gain, global index)`` reproduces :func:`top_k_stable` over
     ``np.concatenate(parts)`` bit for bit.
+
+    ``k == 1`` short-circuits the heap entirely: the global winner is the
+    best of the per-part winners, compared by the same ``(-gain, global
+    index)`` key, so one :func:`min` over at most ``len(parts)`` candidates
+    replaces the merge.
     """
+    if k == 1:
+        best: Optional[Tuple[float, int]] = None
+        offset = 0
+        for gains in parts:
+            if len(gains):
+                local = int(top_k_stable(np.asarray(gains), 1)[0])
+                key = (-float(gains[local]), offset + local)
+                if best is None or key < best:
+                    best = key
+            offset += len(gains)
+        if best is None:
+            return np.zeros(0, dtype=np.int64)
+        return np.array([best[1]], dtype=np.int64)
     heads = []
     offset = 0
     for gains in parts:

@@ -258,6 +258,16 @@ class TCrowdModel:
         If ``False``, fixes ``alpha_i = beta_j = 1`` (ablation of Section 4.2).
     standardize_continuous:
         Internally z-score continuous columns (recommended; see module docs).
+    m_step:
+        ``"lbfgs"`` (default) maximises Eq. 5 with bounded L-BFGS over the
+        concatenated log-parameters — the reference path every equivalence
+        bit is pinned against.  ``"newton"`` runs the ECME-style cyclic
+        Newton M-step instead (:meth:`_m_step_newton`): the expected
+        log-likelihood is coordinate-wise separable given the other blocks,
+        so each ``log alpha_i`` / ``log beta_j`` / ``log phi_u`` gets an
+        exact 1-D Newton update from analytic curvature.  Same stationary
+        points, fewer EM iterations on cold starts; any non-improving sweep
+        falls back to the L-BFGS step, keeping EM monotone.
     """
 
     def __init__(
@@ -271,11 +281,16 @@ class TCrowdModel:
         use_difficulty: bool = True,
         standardize_continuous: bool = True,
         seed=None,
+        m_step: str = "lbfgs",
     ) -> None:
         require_positive(epsilon, "epsilon")
         require_positive(max_iterations, "max_iterations")
         require_positive(tolerance, "tolerance")
         require_positive(m_step_iterations, "m_step_iterations")
+        if m_step not in ("lbfgs", "newton"):
+            raise InferenceError(
+                f"m_step must be 'lbfgs' or 'newton', got {m_step!r}"
+            )
         self.worker_model = WorkerModel(epsilon)
         self.epsilon = float(epsilon)
         self.max_iterations = int(max_iterations)
@@ -286,6 +301,7 @@ class TCrowdModel:
         self.use_difficulty = bool(use_difficulty)
         self.standardize_continuous = bool(standardize_continuous)
         self.seed = seed
+        self.m_step = str(m_step)
         self.rng = as_generator(seed)
 
     #: Advertises the ``init=`` keyword of :meth:`fit` to the assigners.
@@ -590,6 +606,12 @@ class TCrowdModel:
         return -objective, -grad
 
     def _m_step(self, ws: _Workspace, log_alpha, log_beta, log_phi):
+        """One M-step, dispatched on the ``m_step`` knob."""
+        if self.m_step == "newton":
+            return self._m_step_newton(ws, log_alpha, log_beta, log_phi)
+        return self._m_step_lbfgs(ws, log_alpha, log_beta, log_phi)
+
+    def _m_step_lbfgs(self, ws: _Workspace, log_alpha, log_beta, log_phi):
         """Maximise Eq. 5 over the (log) parameters by L-BFGS."""
         shapes = (len(log_alpha), len(log_beta), len(log_phi))
         theta0 = self._pack(log_alpha, log_beta, log_phi)
@@ -603,15 +625,145 @@ class TCrowdModel:
             options={"maxiter": self.m_step_iterations},
         )
         log_alpha, log_beta, log_phi = self._unpack(result.x, *shapes)
-        # Remove the scale ambiguity: the likelihood only sees the products
-        # alpha_i * beta_j * phi_u, so re-centre alpha and beta at geometric
-        # mean one and fold the shift into phi.
+        return self._recenter(log_alpha, log_beta, log_phi)
+
+    def _recenter(self, log_alpha, log_beta, log_phi):
+        """Remove the scale ambiguity: the likelihood only sees the products
+        ``alpha_i * beta_j * phi_u``, so re-centre alpha and beta at geometric
+        mean one and fold the shift into phi."""
         if self.use_difficulty:
             mean_alpha = float(np.mean(log_alpha))
             mean_beta = float(np.mean(log_beta))
             log_alpha = log_alpha - mean_alpha
             log_beta = log_beta - mean_beta
             log_phi = log_phi + mean_alpha + mean_beta
+        return log_alpha, log_beta, log_phi
+
+    def _newton_terms(self, ws: _Workspace, log_alpha, log_beta, log_phi):
+        """Per-answer first and second derivatives of Eq. 5 in log-variance.
+
+        Every answer touches the parameters only through its own
+        log-variance ``lv = log alpha_i + log beta_j + log phi_u``, so the
+        per-answer pairs ``(dQ/dlv, d2Q/dlv2)`` aggregate (``np.bincount``)
+        into exact per-coordinate gradients *and curvatures* for whichever
+        block is being updated — the quantity L-BFGS has to estimate from
+        gradient history, computed here in closed form.
+        """
+        terms = []
+        if len(ws.cont_cells):
+            variances = self._answer_variances(
+                ws, log_alpha, log_beta, log_phi,
+                ws.cont_rows, ws.cont_cols, ws.cont_workers,
+            )
+            residual_sq = (
+                ws.cont_values - ws.cont_post_mean[ws.cont_cell_of_answer]
+            ) ** 2 + ws.cont_post_var[ws.cont_cell_of_answer]
+            half_ratio = residual_sq / (2.0 * variances)
+            # Q = -0.5 lv - r^2 / (2 e^lv) + const per answer.
+            grad = -0.5 + half_ratio
+            curvature = -half_ratio
+            terms.append(
+                (ws.cont_rows, ws.cont_cols, ws.cont_workers, grad, curvature)
+            )
+        if len(ws.cat_cells):
+            variances = self._answer_variances(
+                ws, log_alpha, log_beta, log_phi,
+                ws.cat_rows, ws.cat_cols, ws.cat_workers,
+            )
+            u_arg = self.epsilon / np.sqrt(2.0 * variances)
+            quality = np.clip(safe_erf(u_arg), _Q_FLOOR, 1.0 - _Q_FLOOR)
+            p_correct = ws.cat_post[ws.cat_cell_of_answer, ws.cat_labels]
+            gauss = np.exp(-u_arg**2) / np.sqrt(np.pi)
+            # q = erf(u), u = eps / sqrt(2 e^lv)  =>  du/dlv = -u/2.
+            dq = -u_arg * gauss
+            d2q = 0.5 * u_arg * gauss * (1.0 - 2.0 * u_arg**2)
+            dobj_dq = p_correct / quality - (1.0 - p_correct) / (1.0 - quality)
+            d2obj_dq2 = (
+                -p_correct / quality**2
+                - (1.0 - p_correct) / (1.0 - quality) ** 2
+            )
+            grad = dobj_dq * dq
+            curvature = d2obj_dq2 * dq**2 + dobj_dq * d2q
+            terms.append(
+                (ws.cat_rows, ws.cat_cols, ws.cat_workers, grad, curvature)
+            )
+        return terms
+
+    def _m_step_newton(self, ws: _Workspace, log_alpha, log_beta, log_phi):
+        """ECME-style cyclic Newton maximisation of Eq. 5.
+
+        Given the other two blocks, Eq. 5 separates per coordinate within a
+        block, so each sweep applies one exact 1-D Newton update per
+        ``log alpha_i``, ``log beta_j`` and ``log phi_u`` in turn
+        (Gauss-Seidel order: each block sees the others' fresh values).
+        Safeguards keep the ascent honest on the near-flat difficulty
+        ridge: curvature is floored away from zero, steps are clipped to
+        one log-unit, parameters stay inside the same ±10 box as the
+        L-BFGS path, and a sweep that fails to improve the objective
+        discards the Newton result for this M-step and falls back to
+        :meth:`_m_step_lbfgs` — so EM stays monotone whichever path runs.
+        """
+        before = (log_alpha.copy(), log_beta.copy(), log_phi.copy())
+        objective_before = self._objective(ws, log_alpha, log_beta, log_phi)
+        log_alpha = log_alpha.copy()
+        log_beta = log_beta.copy()
+        log_phi = log_phi.copy()
+        blocks = ("alpha", "beta", "phi") if self.use_difficulty else ("phi",)
+        # Exact-curvature sweeps converge quadratically near the block
+        # optimum, and EM only needs an *improving* M-step (generalized EM),
+        # so a handful of sweeps replaces the L-BFGS iteration budget; the
+        # near-flat difficulty ridge would otherwise eat the whole budget
+        # creeping below the parameter tolerance.
+        for _sweep in range(min(self.m_step_iterations, 4)):
+            largest_step = 0.0
+            for block in blocks:
+                terms = self._newton_terms(ws, log_alpha, log_beta, log_phi)
+                if block == "alpha":
+                    params, reg, pick = (
+                        log_alpha, self.difficulty_regularization, 0,
+                    )
+                elif block == "beta":
+                    params, reg, pick = (
+                        log_beta, self.difficulty_regularization, 1,
+                    )
+                else:
+                    params, reg, pick = log_phi, self.phi_regularization, 2
+                size = len(params)
+                grad = np.zeros(size)
+                curvature = np.zeros(size)
+                for entry in terms:
+                    index = entry[pick]
+                    grad += np.bincount(index, weights=entry[3], minlength=size)
+                    curvature += np.bincount(
+                        index, weights=entry[4], minlength=size
+                    )
+                grad -= reg * params
+                curvature -= reg
+                # Maximisation: step = grad / (-curvature); floor the
+                # curvature and clip the step so flat or locally convex
+                # coordinates move a bounded distance uphill.
+                step = np.clip(
+                    grad / np.maximum(-curvature, 1e-8), -1.0, 1.0
+                )
+                updated = np.clip(params + step, -10.0, 10.0)
+                if size:
+                    largest_step = max(
+                        largest_step, float(np.max(np.abs(updated - params)))
+                    )
+                if block == "alpha":
+                    log_alpha = updated
+                elif block == "beta":
+                    log_beta = updated
+                else:
+                    log_phi = updated
+            if largest_step < self.tolerance:
+                break
+        log_alpha, log_beta, log_phi = self._recenter(
+            log_alpha, log_beta, log_phi
+        )
+        objective_after = self._objective(ws, log_alpha, log_beta, log_phi)
+        if not np.isfinite(objective_after) or objective_after < objective_before:
+            return self._m_step_lbfgs(ws, *before)
         return log_alpha, log_beta, log_phi
 
     def _objective(self, ws: _Workspace, log_alpha, log_beta, log_phi) -> float:

@@ -59,6 +59,23 @@ class InformationGainCalculator:
         self.continuous_samples = int(continuous_samples)
         self._rng = as_generator(seed)
         self._cont_variance_grid: Optional[np.ndarray] = None
+        self._cat_prob_grid: Optional[np.ndarray] = None
+        # Schema-derived lookup tables used by every gains_batch call; the
+        # schema is immutable, so build them once instead of per call.
+        columns = result.schema.columns
+        self._column_is_categorical = np.array(
+            [column.is_categorical for column in columns], dtype=bool
+        )
+        self._num_labels_per_col = np.array(
+            [
+                column.num_labels if column.is_categorical else 0
+                for column in columns
+            ],
+            dtype=np.int64,
+        )
+        self._max_labels = (
+            int(self._num_labels_per_col.max()) if len(columns) else 0
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -108,6 +125,7 @@ class InformationGainCalculator:
         (the sharded engine calls this before fanning out).
         """
         self._continuous_variance_grid()
+        self._categorical_prob_grid()
 
     def gains_batch(
         self,
@@ -144,13 +162,9 @@ class InformationGainCalculator:
             return gains
 
         result = self.result
-        schema = result.schema
         rows = np.fromiter((cell[0] for cell in cells), dtype=np.int64, count=len(cells))
         cols = np.fromiter((cell[1] for cell in cells), dtype=np.int64, count=len(cells))
-        column_is_categorical = np.array(
-            [column.is_categorical for column in schema.columns], dtype=bool
-        )
-        is_categorical = column_is_categorical[cols]
+        is_categorical = self._column_is_categorical[cols]
         phi = result.phi_for(worker)
         standardized_variance = np.maximum(
             result.alpha[rows] * result.beta[cols] * phi, VARIANCE_FLOOR
@@ -203,6 +217,31 @@ class InformationGainCalculator:
             self._cont_variance_grid = grid
         return self._cont_variance_grid
 
+    def _categorical_prob_grid(self) -> np.ndarray:
+        """Dense ``(rows, cols, max_labels)`` posterior label probabilities.
+
+        Unanswered categorical cells carry the uniform prior (matching
+        :meth:`InferenceResult.posterior`); slots past a column's label-set
+        size stay zero and entries of continuous columns are never read.
+        Built once per calculator — the per-call Python loop over candidate
+        posteriors this replaces was the last O(candidates) interpreter
+        cost on the categorical scoring path.
+        """
+        if self._cat_prob_grid is None:
+            result = self.result
+            schema = result.schema
+            grid = np.zeros(
+                (schema.num_rows, schema.num_columns, max(self._max_labels, 1))
+            )
+            for col in np.flatnonzero(self._column_is_categorical):
+                count = self._num_labels_per_col[col]
+                grid[:, col, :count] = 1.0 / count
+            for (row, col), posterior in result.posteriors.items():
+                if isinstance(posterior, CategoricalPosterior):
+                    grid[row, col, : len(posterior.probs)] = posterior.probs
+            self._cat_prob_grid = grid
+        return self._cat_prob_grid
+
     def _categorical_gains_batch(
         self,
         rows: np.ndarray,
@@ -219,25 +258,9 @@ class InformationGainCalculator:
         ``x ln x`` terms, so no per-label posterior objects are built.
         """
         result = self.result
-        schema = result.schema
-        num_labels_per_col = np.array(
-            [
-                column.num_labels if column.is_categorical else 0
-                for column in schema.columns
-            ],
-            dtype=np.int64,
-        )
-        labels = num_labels_per_col[cols]
-        max_labels = int(labels.max())
-        probs = np.zeros((len(rows), max_labels))
-        posteriors = result.posteriors
-        for out, (row, col) in enumerate(zip(rows.tolist(), cols.tolist())):
-            posterior = posteriors.get((row, col))
-            count = labels[out]
-            if posterior is None:
-                probs[out, :count] = 1.0 / count
-            else:
-                probs[out, :count] = posterior.probs
+        labels = self._num_labels_per_col[cols]
+        max_labels = self._max_labels
+        probs = self._categorical_prob_grid()[rows, cols]
 
         quality = np.asarray(
             result.worker_model.quality_from_variance(standardized_variance),

@@ -22,11 +22,13 @@ __all__ = [
     "ShardedAsyncPolicy",
     "AsyncRefitEngine",
     "AsyncRefitPolicy",
+    "HotPathProfile",
     "ModelSnapshot",
     "VirtualClock",
 ]
 
 _SHARDING_EXPORTS = ("ShardedSessionState", "ShardedAssignmentPolicy")
+_PROFILING_EXPORTS = ("HotPathProfile",)
 _REFIT_EXPORTS = (
     "AsyncRefitEngine",
     "AsyncRefitPolicy",
@@ -52,4 +54,8 @@ def __getattr__(name):
         from repro.engine import composed
 
         return getattr(composed, name)
+    if name in _PROFILING_EXPORTS:
+        from repro.engine import profiling
+
+        return getattr(profiling, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -54,6 +54,8 @@ from repro.core.assignment import (
 )
 from repro.core.inference import InferenceResult
 from repro.core.schema import TableSchema
+from repro.engine.profiling import HotPathProfile
+from repro.engine.profiling import stage as _stage
 from repro.utils.exceptions import AssignmentError, ConfigurationError
 
 Cell = Tuple[int, int]
@@ -252,7 +254,13 @@ class AsyncRefitEngine:
         self._background_error: Optional[BaseException] = None
         self.blocking_refits = 0
         self.background_refits = 0
+        self.profile: Optional[HotPathProfile] = None
         self._closed = False
+
+    def set_profile(self, profile: Optional[HotPathProfile]) -> None:
+        """Attach a :class:`HotPathProfile` recording ``lock_wait`` /
+        ``em_refit`` stage timings for every refit this engine runs."""
+        self.profile = profile
 
     # -- lock-free reads -----------------------------------------------------
 
@@ -315,7 +323,8 @@ class AsyncRefitEngine:
                 snapshot = self._snapshot
                 if snapshot is not None and count <= snapshot.answers_seen:
                     return
-                result = self._fit(frozen, snapshot)
+                with _stage(self.profile, "em_refit"):
+                    result = self._fit(frozen, snapshot)
                 self.background_refits += 1
                 self._publish(result, count)
         except BaseException as exc:  # surfaced on the next serving call
@@ -326,6 +335,13 @@ class AsyncRefitEngine:
     def result_for(self, answers: AnswerSet) -> InferenceResult:
         """The model the select path should score ``answers`` with.
 
+        See :meth:`snapshot_for` for the staleness contract.
+        """
+        return self.snapshot_for(answers).result
+
+    def snapshot_for(self, answers: AnswerSet) -> ModelSnapshot:
+        """The snapshot the select path should score ``answers`` with.
+
         Lock-free unless the snapshot is missing or too stale, in which
         case one blocking catch-up refit runs before returning.  "Too
         stale" honours both knobs: the staleness bound *and* the refit
@@ -334,16 +350,21 @@ class AsyncRefitEngine:
         blocking threshold is ``max(max_stale_answers, refit_every - 1)``.
         That is what makes ``max_stale_answers=0`` reproduce the
         synchronous fit chain at any ``refit_every``, not just 1.
+
+        Returning the whole :class:`ModelSnapshot` (rather than just its
+        result) gives callers a consistent ``(epoch, result,
+        answers_seen)`` read off one atomic reference — the key the
+        composed policy's scoring cache is indexed by.
         """
         self._raise_background_error()
         snapshot = self._snapshot
         if snapshot is not None:
             if self.max_stale_answers is None:
-                return snapshot.result
+                return snapshot
             threshold = max(self.max_stale_answers, self.refit_every - 1)
             if snapshot.staleness(answers) <= threshold:
-                return snapshot.result
-        return self.refit_now(answers).result
+                return snapshot
+        return self.refit_now(answers)
 
     def restore(
         self, result: InferenceResult, answers_seen: int, epoch: Optional[int] = None
@@ -370,15 +391,20 @@ class AsyncRefitEngine:
         """Blocking refit bringing the snapshot fully up to date."""
         self._raise_background_error()
         count = len(answers)
-        with self._fit_lock:
+        with _stage(self.profile, "lock_wait"):
+            self._fit_lock.acquire()
+        try:
             snapshot = self._snapshot
             if snapshot is not None and snapshot.answers_seen >= count:
                 # A background fit caught us up while we waited for the lock.
                 return snapshot
-            result = self._fit(answers, snapshot)
+            with _stage(self.profile, "em_refit"):
+                result = self._fit(answers, snapshot)
             self.blocking_refits += 1
             self._publish(result, count)
             return self._snapshot
+        finally:
+            self._fit_lock.release()
 
     # -- internals -----------------------------------------------------------
 
@@ -472,6 +498,7 @@ class AsyncRefitPolicy(AssignmentPolicy):
                 "an ordered sample stream that async refits would reorder"
             )
         self.inner = inner
+        self.profile: Optional[HotPathProfile] = None
         self.engine = AsyncRefitEngine(
             inner.model,
             inner.schema,
@@ -481,6 +508,11 @@ class AsyncRefitPolicy(AssignmentPolicy):
             tol=inner.refit_tol,
             clock=clock,
         )
+
+    def set_profile(self, profile: Optional[HotPathProfile]) -> None:
+        """Attach a :class:`HotPathProfile` to the policy and its engine."""
+        self.profile = profile
+        self.engine.set_profile(profile)
 
     @property
     def name(self) -> str:
@@ -516,7 +548,8 @@ class AsyncRefitPolicy(AssignmentPolicy):
         candidates = self.candidate_cells(worker, answers)
         if not candidates:
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
-        result = self.engine.result_for(answers)
+        with _stage(self.profile, "snapshot_acquire"):
+            result = self.engine.result_for(answers)
         return self.inner.rank_candidates(result, worker, answers, candidates, k)
 
     def observe(self, answers: AnswerSet) -> None:

@@ -32,8 +32,11 @@ from repro.core.assignment import (
     BatchAssignment,
     TCrowdAssigner,
     merge_top_k_stable,
+    top_k_stable,
 )
 from repro.core.schema import TableSchema
+from repro.engine.profiling import HotPathProfile
+from repro.engine.profiling import stage as _stage
 from repro.engine.state import SessionState
 from repro.utils.exceptions import AssignmentError, ConfigurationError
 
@@ -171,6 +174,7 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
         # size all describe the partition actually served.
         self.num_shards = min(int(num_shards), max(inner.schema.num_rows, 1))
         self.max_workers = None if max_workers is None else int(max_workers)
+        self.profile: Optional[HotPathProfile] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         if self.max_workers is not None and self.max_workers > 1:
             self._executor = ThreadPoolExecutor(
@@ -198,6 +202,10 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
     def restore_state(self, result, answers_seen: int) -> None:
         """Delegate durable restores to the wrapped assigner."""
         self.inner.restore_state(result, answers_seen)
+
+    def set_profile(self, profile: Optional[HotPathProfile]) -> None:
+        """Attach a :class:`HotPathProfile`; subsequent selects record into it."""
+        self.profile = profile
 
     def close(self) -> None:
         """Shut down the scoring thread pool (idempotent)."""
@@ -237,10 +245,23 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
         built over the latest async :class:`~repro.engine.ModelSnapshot`
         instead of the wrapped assigner's synchronous refit.
         """
-        return self.inner.prepare_scoring(answers)
+        with _stage(self.profile, "calculator_build"):
+            return self.inner.prepare_scoring(answers)
 
     def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
-        """Assign the top-``k`` cells by gain, scored shard by shard."""
+        """Assign the top-``k`` cells by gain, scored over the shard partition.
+
+        Sequential scoring (no thread pool) takes the *stacked* fast path:
+        because the shards are contiguous row ranges, the concatenation of
+        the per-shard candidate lists is exactly the monolithic row-major
+        candidate list, so one ``gains_batch`` call over the concatenation
+        followed by :func:`~repro.core.assignment.top_k_stable` returns the
+        same winners as per-shard scoring plus the stable heap merge — with
+        one vectorised kernel dispatch instead of ``num_shards`` small ones
+        plus a Python-level merge.  The thread-pool path keeps per-shard
+        calls (that is the point of the pool) and heap-merges as before;
+        both paths are bit-identical to the unsharded assigner.
+        """
         if k < 1:
             raise AssignmentError(f"k must be >= 1, got {k}")
         state = self.session_state(answers)
@@ -251,18 +272,29 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
         if not any(shard_cells):
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
         calculator = self._scoring_calculator(answers)
+        profile = self.profile
+
+        if self._executor is None:
+            stacked = [cell for cells in shard_cells for cell in cells]
+            with _stage(profile, "gains_batch"):
+                gains = calculator.gains_batch(worker, stacked)
+            with _stage(profile, "top_k_merge"):
+                order = top_k_stable(gains, k)
+            picks = order.tolist()
+            cells = tuple(stacked[index] for index in picks)
+            values = tuple(float(gains[index]) for index in picks)
+            return BatchAssignment(worker, cells, values)
 
         def score(cells: List[Cell]) -> np.ndarray:
             if not cells:
                 return np.zeros(0, dtype=float)
             return calculator.gains_batch(worker, cells)
 
-        if self._executor is not None:
-            calculator.prewarm()
+        calculator.prewarm()
+        with _stage(profile, "gains_batch"):
             shard_gains = list(self._executor.map(score, shard_cells))
-        else:
-            shard_gains = [score(cells) for cells in shard_cells]
-        order = merge_top_k_stable(shard_gains, k)
+        with _stage(profile, "top_k_merge"):
+            order = merge_top_k_stable(shard_gains, k)
         # Map each merged global index back to its (shard, local) slot via
         # the per-shard offsets — only the k winners are touched, the
         # concatenated candidate list is never materialised.

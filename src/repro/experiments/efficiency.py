@@ -186,6 +186,7 @@ def measure_engine_speedup(
     max_stale_answers: Optional[int] = None,
     async_refit_tol: Optional[float] = 1e-3,
     spec: Optional[SessionSpec] = None,
+    timing_repeats: int = 1,
 ) -> Dict[str, object]:
     """Time the online assignment loop on the seed path vs the engine paths.
 
@@ -248,6 +249,13 @@ def measure_engine_speedup(
     ``max_stale_answers=None`` keyword keeps its historical meaning of
     "two HITs' worth", resolved against the dataset and recorded as the
     actual bound in the returned spec.
+
+    ``timing_repeats`` re-runs every *timed* path that many times and
+    reports the best (minimum) wall clock — the noise-robust estimator for
+    the sub-second smoke tier, where a single sample can swing 2× on a
+    shared machine.  The equivalence replays run once (their decisions are
+    deterministic), and the recorded value is echoed back as
+    ``timing_repeats``.
     """
     if spec is None:
         dataset = load_celebrity(seed=seed, num_rows=num_rows)
@@ -302,7 +310,8 @@ def measure_engine_speedup(
         num_shards: Optional[int] = None,
         async_stale: object = "off",
         refit_tol: Optional[float] = None,
-    ) -> Tuple[List[tuple], float, int, object, AnswerSet]:
+        capture_estimates: bool = False,
+    ) -> Tuple[List[tuple], float, int, object, AnswerSet, Optional[dict]]:
         rng = np.random.default_rng(seed)
         answers = AnswerSet(schema)
         for row in range(schema.num_rows):
@@ -365,16 +374,38 @@ def measure_engine_speedup(
                 policy.observe(answers)
                 steps += 1
             elapsed = time.perf_counter() - start
+            estimates = None
+            if capture_estimates:
+                # Final truth estimates over the complete answer set, via the
+                # policy's own final_result (a cold fit on the warm_start=False
+                # paths) — the equivalence evidence for
+                # identical_estimates_sharded_async.
+                estimates = policy.final_result(answers).estimates()
         finally:
             if policy is not assigner:
                 policy.close()
-        return decisions, elapsed, collected, assigner, answers
+        return decisions, elapsed, collected, assigner, answers, estimates
 
-    seed_decisions, seed_seconds, seed_collected, _, _ = run_path(
-        warm_start=False, fast=False
+    def timed_path(**kwargs):
+        # Best-of-N wall clock: every repeat replays the identical session
+        # (same rng seed), so the minimum is the run least perturbed by the
+        # machine — the standard noise-robust estimator for tiny timings.
+        # Decisions/estimates come from the first repeat (they are
+        # deterministic across repeats anyway).
+        first = run_path(**kwargs)
+        best = first[1]
+        for _ in range(timing_repeats - 1):
+            best = min(best, run_path(**kwargs)[1])
+        return (first[0], best) + first[2:]
+
+    capture_seed_estimates = async_refit and shards is not None and shards > 1
+    seed_decisions, seed_seconds, seed_collected, _, _, seed_estimates = timed_path(
+        warm_start=False, fast=False, capture_estimates=capture_seed_estimates
     )
-    exact_decisions, exact_seconds, _, _, _ = run_path(warm_start=False, fast=True)
-    warm_decisions, warm_seconds, _, warm_assigner, warm_answers = run_path(
+    exact_decisions, exact_seconds, _, _, _, _ = timed_path(
+        warm_start=False, fast=True
+    )
+    warm_decisions, warm_seconds, _, warm_assigner, warm_answers, _ = timed_path(
         warm_start=True, fast=True
     )
     agreement_steps = sum(
@@ -414,12 +445,18 @@ def measure_engine_speedup(
         "speedup": seed_seconds / max(exact_seconds, 1e-12),
         "speedup_warm": seed_seconds / max(warm_seconds, 1e-12),
         "identical_assignments": seed_decisions == exact_decisions,
+        # warm_vs_cold_agreement counts steps where the warm path took the
+        # exact same decision as the cold seed path — dominated by near-ties,
+        # hence the honest name.  warm_agreement is the deprecated alias
+        # (kept one release; see benchmarks/README.md).
+        "warm_vs_cold_agreement": agreement_steps / max(len(seed_decisions), 1),
         "warm_agreement": agreement_steps / max(len(seed_decisions), 1),
         "warm_truth_agreement": warm_truth_agreement,
         "model_kwargs": options,
+        "timing_repeats": int(timing_repeats),
     }
     if shards is not None and shards > 1:
-        sharded_decisions, sharded_seconds, _, _, _ = run_path(
+        sharded_decisions, sharded_seconds, _, _, _, _ = timed_path(
             warm_start=False, fast=True, num_shards=shards
         )
         stats["shards"] = int(shards)
@@ -434,7 +471,7 @@ def measure_engine_speedup(
         # refits and blocks every select until the model has seen all
         # answers, so the async serving path must replay the seed sequence
         # bit for bit.
-        async_exact_decisions, _, _, _, _ = run_path(
+        async_exact_decisions, _, _, _, _, _ = run_path(
             warm_start=False, fast=True, async_stale=0
         )
         stats["identical_assignments_async"] = (
@@ -446,7 +483,7 @@ def measure_engine_speedup(
         # stopping.  Compared against the *synchronous engine path*, not
         # the seed path: the async win is on top of the engine's.
         stale = spec.serving.max_stale_answers
-        _, async_seconds, _, _, _ = run_path(
+        _, async_seconds, _, _, _, _ = timed_path(
             warm_start=True, fast=True, async_stale=stale,
             refit_tol=async_refit_tol,
         )
@@ -458,17 +495,26 @@ def measure_engine_speedup(
         # Composed serving mode (ShardedAsyncPolicy).  Equivalence run at
         # max_stale_answers=0: the sharded scorer reading blocking-refit
         # snapshots must still replay the seed sequence bit for bit.
-        composed_exact, _, _, _, _ = run_path(
-            warm_start=False, fast=True, num_shards=shards, async_stale=0
+        composed_exact, _, _, _, _, composed_estimates = run_path(
+            warm_start=False, fast=True, num_shards=shards, async_stale=0,
+            capture_estimates=True,
         )
         stats["identical_assignments_sharded_async"] = (
             seed_decisions == composed_exact
+        )
+        # The estimate-equality bit: both runs end with a cold fit over the
+        # same final answer set (the composed path's snapshot chain replays
+        # the synchronous one at stale=0), so the decoded truths must match
+        # exactly — a strictly stronger check than the assignment sequences,
+        # and the one that would catch a stale scoring-cache hit.
+        stats["identical_estimates_sharded_async"] = (
+            seed_estimates == composed_estimates
         )
         # Production composed run: the spec's staleness bound + warm
         # early-stopped refits, scored shard by shard.  Compared against
         # the synchronous engine path, like speedup_async.
         stale = spec.serving.max_stale_answers
-        _, composed_seconds, _, _, _ = run_path(
+        _, composed_seconds, _, _, _, _ = timed_path(
             warm_start=True, fast=True, num_shards=shards, async_stale=stale,
             refit_tol=async_refit_tol,
         )
@@ -477,6 +523,308 @@ def measure_engine_speedup(
             composed_seconds, 1e-12
         )
     return stats
+
+
+def _nearest_rank(sorted_values: List[float], quantile: float) -> float:
+    """Nearest-rank percentile over an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(np.ceil(quantile * len(sorted_values))) - 1, 0)
+    return float(sorted_values[min(rank, len(sorted_values) - 1)])
+
+
+def profile_hot_path(
+    seed: int = 7,
+    num_rows: int = 60,
+    target_answers_per_task: float = 2.0,
+    shards: int = 4,
+    shard_workers: Optional[int] = None,
+    max_stale_answers: Optional[int] = None,
+    refit_tol: Optional[float] = 1e-3,
+    model_kwargs: Optional[dict] = None,
+    max_steps: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the composed production path once with per-stage timers attached.
+
+    Replays the same scripted session as :func:`measure_engine_speedup`'s
+    composed production run, but with a
+    :class:`~repro.engine.HotPathProfile` wired into the policy stack, and
+    returns the per-stage breakdown (``profile_stages``) plus the scoring
+    cache hit counters.  Kept separate from the timed benchmark runs so the
+    (small) profiling overhead never contaminates the recorded speedups.
+    """
+    from repro.engine import HotPathProfile
+
+    dataset = load_celebrity(seed=seed, num_rows=num_rows)
+    schema = dataset.schema
+    pool = dataset.worker_pool
+    worker_ids, activities = pool.worker_ids(), pool.activities()
+    if max_stale_answers is None:
+        max_stale_answers = default_max_stale(schema)
+    options = dict(
+        model_kwargs or {"max_iterations": 10, "m_step_iterations": 15}
+    )
+    rng = np.random.default_rng(seed)
+    answers = AnswerSet(schema)
+    for row in range(schema.num_rows):
+        worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+        for col in range(schema.num_columns):
+            answers.add_answer(
+                worker, row, col, dataset.oracle.answer(worker, row, col, rng)
+            )
+    assigner = TCrowdAssigner(
+        schema,
+        model=TCrowdModel(**options),
+        refit_every=1,
+        warm_start=True,
+        refit_tol=refit_tol,
+    )
+    policy = wrap_policy(
+        assigner,
+        ServingSpec(
+            shards=shards,
+            shard_workers=shard_workers,
+            async_refit=True,
+            max_stale_answers=max_stale_answers,
+        ),
+    )
+    profile = HotPathProfile()
+    policy.set_profile(profile)
+    extra = int(round((target_answers_per_task - 1.0) * schema.num_cells))
+    collected = steps = failures = 0
+    try:
+        start = time.perf_counter()
+        while collected < extra and failures < 10 * len(worker_ids):
+            if max_steps is not None and steps >= max_steps:
+                break
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            batch = min(schema.num_columns, extra - collected)
+            try:
+                assignment = policy.select(worker, answers, k=batch)
+            except AssignmentError:
+                failures += 1
+                continue
+            failures = 0
+            for row, col in assignment.cells:
+                answers.add_answer(
+                    worker, row, col,
+                    dataset.oracle.answer(worker, row, col, rng),
+                )
+            collected += len(assignment.cells)
+            policy.observe(answers)
+            steps += 1
+        elapsed = time.perf_counter() - start
+    finally:
+        policy.close()
+    return {
+        "profile_stages": profile.to_dict(),
+        "profile_steps": steps,
+        "profile_seconds": elapsed,
+        "profile_num_rows": num_rows,
+        "profile_shards": shards,
+        "profile_max_stale_answers": max_stale_answers,
+        "profile_scoring_cache_hits": policy.scoring_cache_hits,
+        "profile_scoring_cache_misses": policy.scoring_cache_misses,
+    }
+
+
+def measure_scale_benchmark(
+    seed: int = 7,
+    num_rows: int = 10_000,
+    num_columns: int = 10,
+    num_workers: int = 300,
+    max_steps: int = 15,
+    selects_per_step: int = 3,
+    shards: int = 8,
+    max_stale_answers: Optional[int] = None,
+    refit_tol: Optional[float] = 1e-3,
+    model_kwargs: Optional[dict] = None,
+) -> Dict[str, object]:
+    """The ``--scale`` benchmark tier: the serving paths at production size.
+
+    Everything recorded by the default tier comes from a toy Celebrity
+    slice; this tier drives a synthetic table of ``num_rows`` rows (>= 10k
+    by default, one seed answer per cell) and a crowd of ``num_workers``
+    workers through a bounded number of assignment steps on each serving
+    path that stays feasible at this size:
+
+    * **engine (sync)** — the warm-started synchronous engine, paying one
+      EM refit per select (Algorithm 2 cadence);
+    * **async** — bounded-staleness async refit serving;
+    * **sharded + async** — the composed mode (stacked scoring + scoring
+      cache over async snapshots).
+
+    Each step has ``selects_per_step`` distinct workers poll for tasks
+    before their answers are ingested in one batch — the serving pattern
+    of a real crowd, where many workers request work between answer
+    arrivals.  That access pattern is exactly what the composed mode's
+    scoring cache targets (repeat selects against an unchanged snapshot
+    and answer prefix), so the recorded cache hit counts are meaningful
+    rather than structurally zero.
+
+    The from-scratch seed path is omitted — a cold EM per select over
+    ~``num_rows * num_columns`` answers is minutes *per step* and measures
+    nothing the small tier doesn't already pin.  Speedups are therefore
+    relative to the synchronous engine path (``speedup_async_scale``,
+    ``speedup_sharded_async_scale``), matching the small tier's
+    ``speedup_async`` convention, with nearest-rank select p50/p99s
+    alongside.  A cold-fit ``lbfgs``-vs-``newton`` M-step comparison over
+    the full seeded answer set rides along (``scale_m_step``), recording
+    ``iterations_run`` / ``stopped_by`` / wall-clock for both.
+    """
+    spec = (
+        SessionSpec.builder()
+        .model(**dict(model_kwargs or {"max_iterations": 8, "m_step_iterations": 15}))
+        .policy(refit_every=1, warm_start=True)
+        .simulation(seed=seed, max_steps=max_steps)
+        .build()
+    )
+    options = spec.policy.model.to_kwargs()
+    dataset = generate_synthetic(
+        num_rows=num_rows,
+        num_columns=num_columns,
+        categorical_ratio=0.5,
+        answers_per_task=1,
+        num_workers=num_workers,
+        seed=seed,
+    )
+    schema = dataset.schema
+    pool = dataset.worker_pool
+    worker_ids, activities = pool.worker_ids(), pool.activities()
+    if max_stale_answers is None:
+        max_stale_answers = default_max_stale(schema)
+
+    def run_serving(serving: Optional[ServingSpec]):
+        rng = np.random.default_rng(seed)
+        answers = dataset.answers.copy()
+        assigner = TCrowdAssigner(
+            schema,
+            model=TCrowdModel(**options),
+            refit_every=spec.policy.refit_every,
+            warm_start=True,
+            refit_tol=refit_tol,
+        )
+        policy = (
+            assigner if serving is None else wrap_policy(assigner, serving)
+        )
+        latencies: List[float] = []
+        steps = failures = 0
+        cache_stats = (0, 0)
+        try:
+            start = time.perf_counter()
+            while steps < max_steps and failures < 10:
+                # All of the step's selects run before any of its answers
+                # are ingested (workers poll concurrently in production;
+                # the driver serialises them for determinism).
+                assignments = []
+                for _poll in range(selects_per_step):
+                    worker = worker_ids[
+                        int(rng.choice(len(worker_ids), p=activities))
+                    ]
+                    before = time.perf_counter()
+                    try:
+                        assignment = policy.select(
+                            worker, answers, k=num_columns
+                        )
+                    except AssignmentError:
+                        failures += 1
+                        continue
+                    latencies.append(time.perf_counter() - before)
+                    failures = 0
+                    assignments.append(assignment)
+                for assignment in assignments:
+                    for row, col in assignment.cells:
+                        answers.add_answer(
+                            assignment.worker, row, col,
+                            dataset.oracle.answer(
+                                assignment.worker, row, col, rng
+                            ),
+                        )
+                if assignments:
+                    policy.observe(answers)
+                    steps += 1
+            elapsed = time.perf_counter() - start
+            cache_stats = (
+                getattr(policy, "scoring_cache_hits", 0),
+                getattr(policy, "scoring_cache_misses", 0),
+            )
+        finally:
+            if policy is not assigner:
+                policy.close()
+        latencies.sort()
+        return {
+            "seconds": elapsed,
+            "steps": steps,
+            "select_p50_ms": _nearest_rank(latencies, 0.50) * 1000.0,
+            "select_p99_ms": _nearest_rank(latencies, 0.99) * 1000.0,
+            "cache": cache_stats,
+        }
+
+    sync_run = run_serving(None)
+    async_run = run_serving(
+        ServingSpec(
+            async_refit=True,
+            max_stale_answers=max_stale_answers,
+            refit_tol=refit_tol,
+        )
+    )
+    composed_run = run_serving(
+        ServingSpec(
+            shards=shards,
+            async_refit=True,
+            max_stale_answers=max_stale_answers,
+            refit_tol=refit_tol,
+        )
+    )
+
+    # Cold-fit M-step comparison at scale: same answers, same budget, the
+    # only difference is the optimiser behind Eq. 5.
+    m_step_stats: Dict[str, object] = {}
+    for variant in ("lbfgs", "newton"):
+        model = TCrowdModel(**{**options, "m_step": variant})
+        fit_start = time.perf_counter()
+        result = model.fit(schema, dataset.answers, tol=refit_tol)
+        fit_seconds = time.perf_counter() - fit_start
+        m_step_stats[variant] = {
+            "seconds": fit_seconds,
+            "iterations_run": result.iterations_run,
+            "stopped_by": result.stopped_by,
+            "objective": result.objective_trace[-1],
+        }
+    m_step_stats["newton_speedup"] = (
+        m_step_stats["lbfgs"]["seconds"]
+        / max(m_step_stats["newton"]["seconds"], 1e-12)
+    )
+
+    return {
+        "scale_spec": spec.to_dict(),
+        "scale_num_rows": num_rows,
+        "scale_num_columns": num_columns,
+        "scale_num_workers": len(worker_ids),
+        "scale_num_answers_seeded": len(dataset.answers),
+        "scale_steps": max_steps,
+        "scale_selects_per_step": selects_per_step,
+        "scale_shards": shards,
+        "scale_max_stale_answers": max_stale_answers,
+        "seconds_engine_scale": sync_run["seconds"],
+        "seconds_async_scale": async_run["seconds"],
+        "seconds_sharded_async_scale": composed_run["seconds"],
+        "speedup_async_scale": (
+            sync_run["seconds"] / max(async_run["seconds"], 1e-12)
+        ),
+        "speedup_sharded_async_scale": (
+            sync_run["seconds"] / max(composed_run["seconds"], 1e-12)
+        ),
+        "scale_select_p50_ms": composed_run["select_p50_ms"],
+        "scale_select_p99_ms": composed_run["select_p99_ms"],
+        "scale_select_p50_ms_engine": sync_run["select_p50_ms"],
+        "scale_select_p99_ms_engine": sync_run["select_p99_ms"],
+        "scale_select_p50_ms_async": async_run["select_p50_ms"],
+        "scale_select_p99_ms_async": async_run["select_p99_ms"],
+        "scale_scoring_cache_hits": composed_run["cache"][0],
+        "scale_scoring_cache_misses": composed_run["cache"][1],
+        "scale_m_step": m_step_stats,
+    }
 
 
 def run_engine_speedup(

@@ -46,6 +46,7 @@ from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from socketserver import ThreadingMixIn
 
+from repro.engine.profiling import HotPathProfile
 from repro.service.registry import SessionRegistry
 from repro.utils.exceptions import (
     AssignmentError,
@@ -103,6 +104,11 @@ class ServiceMetrics:
         self.selects_served = 0
         self.select_seconds_sum = 0.0
         self.select_latencies: deque = deque(maxlen=_LATENCY_WINDOW)
+        #: Per-stage hot-path timers (snapshot acquire, lock wait, EM refit,
+        #: calculator build, batch scoring, top-K merge), aggregated across
+        #: every session whose policy supports ``set_profile`` — rendered as
+        #: Prometheus histograms alongside the request counters.
+        self.hotpath = HotPathProfile()
 
     def observe_request(self, endpoint: str, status: int) -> None:
         with self._lock:
@@ -160,6 +166,8 @@ class ServiceMetrics:
                 f"repro_service_select_latency_seconds_sum {self.select_seconds_sum:.6f}",
                 f"repro_service_select_latency_seconds_count {self.selects_served}",
             ]
+        # The hot-path profile carries its own lock; render it outside ours.
+        lines.extend(self.hotpath.render_prometheus())
         return "\n".join(lines) + "\n"
 
 
@@ -169,6 +177,10 @@ class ServiceApp:
     def __init__(self, registry: Optional[SessionRegistry] = None) -> None:
         self.registry = registry if registry is not None else SessionRegistry()
         self.metrics = ServiceMetrics()
+        # Policies built from here on report per-stage hot-path timings
+        # into the /metrics histograms (sessions recovered before the app
+        # existed keep running unprofiled — attach-at-build only).
+        self.registry.hotpath_profile = self.metrics.hotpath
 
     # -- WSGI entry ----------------------------------------------------------
 

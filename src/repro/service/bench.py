@@ -501,4 +501,10 @@ def measure_serving(
         "serve_answers_collected": estimates["answers_collected"],
         "serve_metrics_scraped": "repro_service_selects_served_total"
         in metrics_text,
+        # Present only when the session ran a serving mode that reports
+        # per-stage hot-path timings (the engine wrappers); the plain
+        # assigner records no stages, so the histogram is legitimately
+        # absent there.
+        "serve_hotpath_metrics_scraped": "repro_hotpath_stage_seconds"
+        in metrics_text,
     }

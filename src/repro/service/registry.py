@@ -317,6 +317,12 @@ class SessionRegistry:
         )
         self._sessions: Dict[str, ServedSession] = {}
         self._lock = threading.Lock()
+        #: Optional :class:`~repro.engine.HotPathProfile` attached to every
+        #: policy built by this registry that supports ``set_profile``
+        #: (the engine serving wrappers).  The service sets this to the
+        #: profile behind ``/metrics`` so per-stage hot-path histograms
+        #: aggregate across sessions.
+        self.hotpath_profile = None
 
     # -- lookup --------------------------------------------------------------
 
@@ -442,6 +448,8 @@ class SessionRegistry:
     ) -> ServedSession:
         schema = resolve_schema(envelope)
         policy = _build_spec_policy(schema, spec)
+        if self.hotpath_profile is not None and hasattr(policy, "set_profile"):
+            policy.set_profile(self.hotpath_profile)
         durable = build_durable_session(
             schema, policy, spec, directory=durable_dir
         )

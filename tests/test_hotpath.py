@@ -1,0 +1,361 @@
+"""Hot-path speed-pass tests: stacked scoring, scoring cache, Newton M-step.
+
+The composed-path speed pass (stacked ``gains_batch`` over the shard
+concatenation, the snapshot-keyed scoring-calculator cache, the ``k == 1``
+merge shortcut and the Newton M-step) must be behaviour-neutral where the
+equivalence bits say so and objective-equivalent where EM tolerance allows.
+These tests pin each claim in isolation; the end-to-end bit-identity stays
+with the golden-trace matrix and the benchmark gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import AnswerSet
+from repro.core.assignment import (
+    TCrowdAssigner,
+    merge_top_k_stable,
+    top_k_stable,
+)
+from repro.core.inference import TCrowdModel
+from repro.core.schema import Column, TableSchema
+from repro.engine import ShardedAsyncPolicy, VirtualClock
+from repro.engine.profiling import BUCKET_BOUNDS, HotPathProfile, stage
+from repro.engine.sharding import ShardedAssignmentPolicy
+from repro.utils.exceptions import InferenceError
+
+FAST_MODEL = {"max_iterations": 3, "m_step_iterations": 6}
+
+
+def _schema(num_rows: int = 8) -> TableSchema:
+    columns = (
+        Column.categorical("color", ("red", "green", "blue")),
+        Column.categorical("size", ("small", "large")),
+        Column.continuous("weight", (0.0, 100.0)),
+        Column.continuous("price", (0.0, 1000.0)),
+    )
+    return TableSchema.build("item", columns, num_rows=num_rows)
+
+
+def _seeded_answers(schema, answers_per_cell=2, seed=0) -> AnswerSet:
+    rng = np.random.default_rng(seed)
+    answers = AnswerSet(schema)
+    for row in range(schema.num_rows):
+        for col, column in enumerate(schema.columns):
+            for index in range(answers_per_cell):
+                worker = f"w{(row + index) % 5}"
+                if column.is_categorical:
+                    value = column.labels[int(rng.integers(column.num_labels))]
+                else:
+                    low, high = column.domain
+                    value = float(rng.uniform(low, high))
+                answers.add_answer(worker, row, col, value)
+    return answers
+
+
+def _assigner(schema, **kwargs) -> TCrowdAssigner:
+    options = dict(refit_every=1, warm_start=True)
+    options.update(kwargs)
+    return TCrowdAssigner(schema, model=TCrowdModel(**FAST_MODEL), **options)
+
+
+# -- stable top-K merge vs the monolithic selection ---------------------------
+
+
+_gain_parts = st.lists(
+    st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        ),
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestMergeTopKStable:
+    @given(parts=_gain_parts, k=st.sampled_from([1, 2, 4, 7]))
+    @settings(deadline=None, max_examples=200)
+    def test_merge_matches_monolithic_top_k(self, parts, k):
+        """The heap merge (and its k==1 shortcut) equals top-K over concat."""
+        arrays = [np.asarray(part, dtype=float) for part in parts]
+        flat = (
+            np.concatenate(arrays) if arrays else np.zeros(0, dtype=float)
+        )
+        merged = merge_top_k_stable(arrays, k)
+        expected = top_k_stable(flat, k)[: len(merged)]
+        assert merged.tolist() == expected.tolist()
+
+    def test_k1_shortcut_prefers_earlier_index_on_ties(self):
+        parts = [np.array([1.0, 5.0]), np.array([5.0, 2.0])]
+        assert merge_top_k_stable(parts, 1).tolist() == [1]
+
+    def test_k1_all_empty_parts(self):
+        assert merge_top_k_stable([np.zeros(0), np.zeros(0)], 1).tolist() == []
+
+
+# -- stacked gains_batch vs the per-shard scoring loop ------------------------
+
+
+class TestStackedScoring:
+    @given(k=st.sampled_from([1, 2, 4, 7]), num_shards=st.integers(1, 5))
+    @settings(deadline=None, max_examples=12)
+    def test_sequential_select_equals_per_shard_oracle(self, k, num_shards):
+        """One stacked ``gains_batch`` + global top-K must reproduce the
+        per-shard scoring loop + stable heap merge it replaced."""
+        schema = _schema()
+        answers = _seeded_answers(schema)
+        policy = ShardedAssignmentPolicy(_assigner(schema), num_shards=num_shards)
+        worker = "w0"
+        state = policy.session_state(answers)
+        shard_cells = [
+            state.shard_candidate_cells(shard, worker)
+            for shard in range(state.num_shards)
+        ]
+        calculator = policy.inner.prepare_scoring(answers)
+        # The oracle: the pre-speed-pass path, one gains_batch per shard
+        # followed by the stable heap merge over the per-shard arrays.
+        shard_gains = [
+            calculator.gains_batch(worker, cells)
+            if cells
+            else np.zeros(0, dtype=float)
+            for cells in shard_cells
+        ]
+        order = merge_top_k_stable(shard_gains, k)
+        offsets = np.cumsum([0] + [len(cells) for cells in shard_cells])
+        owners = np.searchsorted(offsets, order, side="right") - 1
+        oracle_cells = tuple(
+            shard_cells[shard][index - offsets[shard]]
+            for shard, index in zip(owners.tolist(), order.tolist())
+        )
+        oracle_gains = tuple(
+            float(shard_gains[shard][index - offsets[shard]])
+            for shard, index in zip(owners.tolist(), order.tolist())
+        )
+        result = policy.select(worker, answers, k=k)
+        assert result.cells == oracle_cells
+        assert result.gains == pytest.approx(oracle_gains)
+
+    def test_threaded_select_matches_sequential(self):
+        schema = _schema()
+        answers = _seeded_answers(schema)
+        sequential = ShardedAssignmentPolicy(_assigner(schema), num_shards=3)
+        with ShardedAssignmentPolicy(
+            _assigner(schema), num_shards=3, max_workers=3
+        ) as threaded:
+            for k in (1, 2, 5):
+                a = sequential.select("w1", answers, k=k)
+                b = threaded.select("w1", answers, k=k)
+                assert a.cells == b.cells
+                assert a.gains == pytest.approx(b.gains)
+
+
+# -- snapshot-keyed scoring-calculator cache ----------------------------------
+
+
+class TestScoringCache:
+    def _policy(self, schema, **kwargs):
+        return ShardedAsyncPolicy(
+            _assigner(schema),
+            num_shards=2,
+            max_stale_answers=0,
+            clock=VirtualClock(),
+            **kwargs,
+        )
+
+    def test_repeat_select_hits_cache(self, mixed_schema):
+        answers = _seeded_answers(mixed_schema)
+        policy = self._policy(mixed_schema)
+        try:
+            first = policy.select("w0", answers, k=2)
+            assert policy.scoring_cache_misses == 1
+            second = policy.select("w0", answers, k=2)
+            assert policy.scoring_cache_hits == 1
+            assert first.cells == second.cells
+        finally:
+            policy.close()
+
+    def test_new_answers_invalidate(self, mixed_schema):
+        answers = _seeded_answers(mixed_schema)
+        policy = self._policy(mixed_schema)
+        try:
+            policy.select("w0", answers, k=1)
+            answers.add_answer("w9", 0, 0, "red")
+            policy.observe(answers)
+            policy.select("w0", answers, k=1)
+            assert policy.scoring_cache_hits == 0
+            assert policy.scoring_cache_misses == 2
+        finally:
+            policy.close()
+
+    def test_epoch_change_invalidates_same_answer_count(self, mixed_schema):
+        """A refit that publishes a new epoch must drop the cache even when
+        the answer count is unchanged."""
+        answers = _seeded_answers(mixed_schema)
+        policy = self._policy(mixed_schema)
+        try:
+            policy.select("w0", answers, k=1)
+            snapshot = policy.engine.snapshot
+            # Re-publish the same result under a new epoch directly on the
+            # engine (the policy's own restore_state clears the cache, which
+            # would make this test vacuous): only the key's epoch changes.
+            policy.engine.restore(snapshot.result, snapshot.answers_seen)
+            assert policy.engine.snapshot.epoch > snapshot.epoch
+            policy.select("w0", answers, k=1)
+            assert policy.scoring_cache_hits == 0
+            assert policy.scoring_cache_misses == 2
+        finally:
+            policy.close()
+
+    def test_restore_clears_cache(self, mixed_schema):
+        answers = _seeded_answers(mixed_schema)
+        policy = self._policy(mixed_schema)
+        try:
+            policy.select("w0", answers, k=1)
+            result, seen = policy.snapshot_state()
+            policy.restore_state(result, seen)
+            policy.select("w0", answers, k=1)
+            assert policy.scoring_cache_misses == 2
+        finally:
+            policy.close()
+
+    def test_cache_can_be_disabled(self, mixed_schema):
+        answers = _seeded_answers(mixed_schema)
+        policy = self._policy(mixed_schema, scoring_cache=False)
+        try:
+            policy.select("w0", answers, k=1)
+            policy.select("w0", answers, k=1)
+            assert policy.scoring_cache_hits == 0
+            assert policy.scoring_cache_misses == 0
+        finally:
+            policy.close()
+
+
+# -- Newton M-step ------------------------------------------------------------
+
+
+class TestNewtonMStep:
+    def test_rejects_unknown_m_step(self):
+        with pytest.raises(InferenceError):
+            TCrowdModel(m_step="sgd")
+
+    def test_converges_to_same_objective(self, mixed_schema):
+        """Both M-steps maximise the same Eq. 5; at convergence the EM
+        objectives must agree within the relative stopping tolerance."""
+        answers = _seeded_answers(mixed_schema, answers_per_cell=3)
+        tol = 1e-4
+        results = {}
+        for variant in ("lbfgs", "newton"):
+            model = TCrowdModel(
+                max_iterations=40, m_step_iterations=30, m_step=variant
+            )
+            results[variant] = model.fit(mixed_schema, answers, tol=tol)
+        obj_lbfgs = results["lbfgs"].objective_trace[-1]
+        obj_newton = results["newton"].objective_trace[-1]
+        assert obj_newton == pytest.approx(
+            obj_lbfgs, rel=10 * tol, abs=10 * tol * max(1.0, abs(obj_lbfgs))
+        )
+
+    def test_newton_objective_is_monotone(self, mixed_schema):
+        """Generalized EM: every Newton M-step must improve (or match) the
+        objective — the L-BFGS fallback guarantees it."""
+        answers = _seeded_answers(mixed_schema, answers_per_cell=3)
+        model = TCrowdModel(max_iterations=15, m_step="newton")
+        trace = model.fit(mixed_schema, answers).objective_trace
+        diffs = np.diff(np.asarray(trace))
+        assert np.all(diffs >= -1e-6 * np.maximum(1.0, np.abs(trace[:-1])))
+
+    def test_newton_decodes_same_truths(self, mixed_schema):
+        answers = _seeded_answers(mixed_schema, answers_per_cell=3)
+        fits = {
+            variant: TCrowdModel(
+                max_iterations=40, m_step_iterations=30, m_step=variant
+            ).fit(mixed_schema, answers, tol=1e-4)
+            for variant in ("lbfgs", "newton")
+        }
+        matches = 0
+        for row in range(mixed_schema.num_rows):
+            for col, column in enumerate(mixed_schema.columns):
+                a = fits["lbfgs"].estimate(row, col)
+                b = fits["newton"].estimate(row, col)
+                if column.is_categorical:
+                    matches += a == b
+                else:
+                    matches += abs(float(a) - float(b)) <= max(
+                        0.05 * abs(float(a)), 0.1
+                    )
+        assert matches / mixed_schema.num_cells >= 0.9
+
+    def test_default_path_is_lbfgs(self):
+        assert TCrowdModel().m_step == "lbfgs"
+
+
+# -- HotPathProfile -----------------------------------------------------------
+
+
+class TestHotPathProfile:
+    def test_stage_contextmanager_records(self):
+        profile = HotPathProfile()
+        with profile.stage("gains_batch"):
+            pass
+        stats = profile.stats("gains_batch")
+        assert stats.calls == 1
+        assert stats.seconds >= 0.0
+
+    def test_none_profile_stage_is_noop(self):
+        with stage(None, "gains_batch"):
+            pass  # must not raise
+
+    def test_buckets_are_cumulative_in_render(self):
+        profile = HotPathProfile()
+        profile.record("em_refit", 0.0002)
+        profile.record("em_refit", 0.02)
+        profile.record("em_refit", 2.0)  # beyond the last bound -> +Inf only
+        lines = profile.render_prometheus()
+        inf_line = next(
+            line for line in lines
+            if 'stage="em_refit"' in line and 'le="+Inf"' in line
+        )
+        assert inf_line.endswith(" 3")
+        count_line = next(
+            line for line in lines
+            if line.startswith("repro_hotpath_stage_seconds_count")
+            and 'stage="em_refit"' in line
+        )
+        assert count_line.endswith(" 3")
+
+    def test_to_dict_orders_canonical_stages_first(self):
+        profile = HotPathProfile()
+        profile.record("top_k_merge", 0.001)
+        profile.record("custom_stage", 0.001)
+        profile.record("snapshot_acquire", 0.001)
+        names = list(profile.to_dict())
+        assert names == ["snapshot_acquire", "top_k_merge", "custom_stage"]
+
+    def test_bucket_bounds_are_increasing(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+
+    def test_profile_wired_through_composed_policy(self, mixed_schema):
+        answers = _seeded_answers(mixed_schema)
+        policy = ShardedAsyncPolicy(
+            _assigner(mixed_schema),
+            num_shards=2,
+            max_stale_answers=0,
+            clock=VirtualClock(),
+        )
+        profile = HotPathProfile()
+        policy.set_profile(profile)
+        try:
+            policy.select("w0", answers, k=2)
+        finally:
+            policy.close()
+        snapshot = profile.to_dict()
+        for name in ("snapshot_acquire", "calculator_build", "gains_batch",
+                     "top_k_merge"):
+            assert snapshot[name]["calls"] >= 1
