@@ -33,6 +33,15 @@ Recorded fields (see also ``benchmarks/README.md``):
   ``max_stale_answers=0`` and the composed sharded+async path must replay
   the seed path's assignment sequence bit for bit; all are hard failures
   here and in CI.
+* ``identical_assignments_multiprocess`` / ``speedup_multiprocess`` /
+  ``multiprocess_answers_per_sec`` (with ``--processes N``) — the
+  process-level serving path (``ProcessShardCoordinator``, N shard-group
+  worker processes): its merged per-worker top-K sequence must also replay
+  the seed path bit for bit (hard failure), and the timed production run
+  records the multi-process throughput.
+* ``repeats`` — the effective best-of-N repeat count the timed paths used,
+  recorded so the CI gate can verify baseline and candidate measured with
+  the same estimator.
 * ``recovery_identical`` (with ``--serve``) — a durable session killed
   mid-run (write-ahead log with a torn tail) must recover and continue to
   the very same assignment sequence and final estimates as an
@@ -178,6 +187,13 @@ def main(argv=None) -> int:
         "max_stale_answers=0 staleness-equivalence bit",
     )
     parser.add_argument(
+        "--processes", type=int, default=0,
+        help="worker processes for the process-level serving path "
+        "(ProcessShardCoordinator; 0 disables it).  Records the "
+        "identical_assignments_multiprocess equivalence bit and the "
+        "multi-process throughput fields",
+    )
+    parser.add_argument(
         "--max-stale", type=int, default=None,
         help="staleness bound (answers) for the timed async path "
         "(default: two HITs' worth)",
@@ -213,7 +229,9 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=None,
         help="best-of-N wall clock for every timed path (default: 5 at "
         "smoke size, where single sub-second samples are too noisy to "
-        "gate on; 1 otherwise)",
+        "gate on; 1 otherwise).  The effective value is recorded in the "
+        "output JSON as 'repeats' so the CI gate can verify baseline and "
+        "candidate used the same estimator",
     )
     args = parser.parse_args(argv)
 
@@ -222,7 +240,8 @@ def main(argv=None) -> int:
     repeats = args.repeats if args.repeats is not None else (5 if args.smoke else 1)
     spec = spec_from_args(args, target)
     stats = measure_engine_speedup(
-        spec=spec, num_rows=rows, timing_repeats=repeats
+        spec=spec, num_rows=rows, timing_repeats=repeats,
+        processes=args.processes if args.processes >= 1 else None,
     )
     if args.profile:
         from repro.experiments.efficiency import profile_hot_path
@@ -283,6 +302,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "engine_online_loop",
         "smoke": bool(args.smoke),
+        "repeats": int(repeats),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -312,6 +332,13 @@ def main(argv=None) -> int:
         print(
             "FAIL: composed sharded+async path at max_stale_answers=0 "
             "diverged from the seed path",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("identical_assignments_multiprocess", True):
+        print(
+            "FAIL: process-level serving path (--processes) diverged from "
+            "the seed path",
             file=sys.stderr,
         )
         return 1

@@ -9,11 +9,16 @@ committed smoke-tier baseline (``BENCH_engine.json``, recorded with
   seed path), ``identical_assignments_async`` (async serving path at
   ``max_stale_answers=0`` vs seed path),
   ``identical_assignments_sharded_async`` (the composed sharded+async
-  policy), ``identical_estimates_sharded_async`` (the composed equivalence
+  policy), ``identical_assignments_multiprocess`` (the process-level
+  shard-worker coordinator vs seed path),
+  ``identical_estimates_sharded_async`` (the composed equivalence
   run's *final truth estimates* match the seed path's exactly — the check
   that would catch a stale scoring-cache hit) or ``recovery_identical``
   (WAL+snapshot crash recovery replays the session bit for bit) is false,
   which is a correctness regression, never noise; or
+* baseline and candidate disagree on the best-of-N repeat count
+  (``repeats``) — the speedup floors only compare like with like when both
+  runs used the same wall-clock estimator; or
 * the HTTP serving throughput (``serve_requests_per_sec``) of the smoke
   run dropped below ``baseline * serve-headroom`` — the smoke server
   serves a *smaller* table than the baseline run, so a smoke run slower
@@ -100,12 +105,18 @@ def main(argv=None) -> int:
         failures.append(
             f"baseline {args.baseline} has no --scale tier entry of >= 10k "
             "rows; regenerate it with `run_bench.py --smoke --shards 4 "
-            "--async-refit --serve --profile --scale`"
+            "--async-refit --processes 2 --serve --profile --scale`"
         )
     if "profile_stages" not in baseline:
         failures.append(
             f"baseline {args.baseline} has no profile_stages breakdown; "
             "regenerate it with --profile"
+        )
+    if "repeats" not in baseline:
+        failures.append(
+            f"baseline {args.baseline} does not record its best-of-N repeat "
+            "count; regenerate it with the current run_bench.py (the "
+            "'repeats' key)"
         )
     if float(baseline.get("speedup_sharded_async") or 0.0) < 1.5:
         failures.append(
@@ -164,6 +175,18 @@ def main(argv=None) -> int:
             "sharded+async equivalence run's final truth estimates differ "
             "from the seed path's (stale snapshot or scoring-cache hit?)"
         )
+    if "identical_assignments_multiprocess" not in candidate:
+        failures.append(
+            "candidate has no identical_assignments_multiprocess field: the "
+            "smoke run must include the process-level serving path "
+            "(run_bench.py --processes >= 1)"
+        )
+    elif not candidate["identical_assignments_multiprocess"]:
+        failures.append(
+            "identical_assignments_multiprocess is false: the process-level "
+            "shard-worker coordinator no longer replays the seed path's "
+            "assignment sequence"
+        )
     if "recovery_identical" not in candidate:
         failures.append(
             "candidate has no recovery_identical field: the smoke run must "
@@ -173,6 +196,23 @@ def main(argv=None) -> int:
         failures.append(
             "recovery_identical is false: WAL+snapshot recovery no longer "
             "reproduces the uninterrupted session bit for bit"
+        )
+
+    base_repeats = baseline.get("repeats")
+    cand_repeats = candidate.get("repeats")
+    if base_repeats is not None and cand_repeats is not None:
+        if int(base_repeats) != int(cand_repeats):
+            failures.append(
+                f"repeat-count mismatch: baseline used --repeats "
+                f"{base_repeats} but candidate used --repeats "
+                f"{cand_repeats}; the speedup floors assume both runs used "
+                "the same best-of-N estimator"
+            )
+    elif base_repeats is not None:
+        failures.append(
+            "candidate has no repeats field: rerun it with the current "
+            "run_bench.py so the gate can verify both runs used the same "
+            "best-of-N repeat count"
         )
 
     serve_baseline = float(baseline.get("serve_requests_per_sec", 0.0))
@@ -199,7 +239,8 @@ def main(argv=None) -> int:
 
     floors = {}
     for field in (
-        "speedup", "speedup_sharded", "speedup_async", "speedup_sharded_async"
+        "speedup", "speedup_sharded", "speedup_async",
+        "speedup_sharded_async", "speedup_multiprocess",
     ):
         if field not in baseline and field != "speedup":
             continue  # older baselines predate the sharded/async paths
@@ -215,9 +256,12 @@ def main(argv=None) -> int:
         # scoring-cache speed pass it clears 1.5x even at smoke size, and
         # that absolute floor is the contract run_bench.py enforces at full
         # size, so the gate pins it here too.
+        # ...  The multiprocess path pays IPC and WAL-replay overhead per
+        # request, so at smoke size it can legitimately land below 1.0x;
+        # its value is the equivalence bit plus the baseline-relative floor.
         if field == "speedup_sharded_async":
             minimum = 1.5
-        elif field == "speedup_async":
+        elif field in ("speedup_async", "speedup_multiprocess"):
             minimum = 0.0
         else:
             minimum = 1.0
@@ -241,6 +285,8 @@ def main(argv=None) -> int:
         f"identical_async={candidate.get('identical_assignments_async')}, "
         f"identical_sharded_async="
         f"{candidate.get('identical_assignments_sharded_async')}, "
+        f"identical_multiprocess="
+        f"{candidate.get('identical_assignments_multiprocess')}, "
         f"identical_estimates_sharded_async="
         f"{candidate.get('identical_estimates_sharded_async')}, "
         f"recovery_identical={candidate.get('recovery_identical')}"

@@ -8,13 +8,24 @@ PR-4-dialect request, and shuts the server down cleanly (SIGINT, asserting
 the clean-shutdown message).  Exercises the same code path an operator
 would run, end to end, in a few seconds.
 
+With ``--processes N`` the smoke instead pins the **process-level serving
+path**: it creates one session with ``serving.processes = N`` (the server
+spawns real shard-worker subprocesses behind
+:class:`repro.engine.ProcessShardCoordinator`) and one in-process oracle
+session, drives both with the identical scripted RNG, and asserts the two
+sessions return bit-identical assignment sequences — cells *and* gains —
+over live HTTP.  Set ``REPRO_WORKER_LOG_DIR`` to collect the workers'
+stdout/stderr logs (CI uploads them as an artifact on failure).
+
 Usage::
 
     PYTHONPATH=src python scripts/service_smoke.py
+    PYTHONPATH=src python scripts/service_smoke.py --processes 2
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import pathlib
 import signal
@@ -32,8 +43,8 @@ from repro.service.bench import ServiceClient  # noqa: E402
 from repro.service.registry import schema_to_dict  # noqa: E402
 
 
-def main() -> int:
-    process = subprocess.Popen(
+def start_server() -> subprocess.Popen:
+    return subprocess.Popen(
         [sys.executable, "-m", "repro.service", "--port", "0"],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -44,11 +55,159 @@ def main() -> int:
             "PYTHONUNBUFFERED": "1",
         },
     )
+
+
+def server_address(process: subprocess.Popen) -> str:
+    line = process.stdout.readline().strip()
+    if not line.startswith("listening on "):
+        raise RuntimeError(f"unexpected server banner: {line!r}")
+    return line.removeprefix("listening on ")
+
+
+def drive_scripted_session(
+    client, session_id: str, dataset, extra: int
+) -> list:
+    """Seed answers + select/ingest loop with a fixed RNG script.
+
+    Returns the assignment trace ``[(worker, cells, gains), ...]``.  Two
+    sessions driven by this function see the identical worker arrivals and
+    oracle answers, so their traces are comparable bit for bit.
+    """
+    schema = dataset.schema
+    pool = dataset.worker_pool
+    worker_ids, activities = pool.worker_ids(), pool.activities()
+    rng = np.random.default_rng(7)
+    for row in range(schema.num_rows):
+        worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+        client.post_answers(
+            session_id,
+            worker,
+            [
+                (row, col, dataset.oracle.answer(worker, row, col, rng))
+                for col in range(schema.num_columns)
+            ],
+        )
+    trace = []
+    collected = failures = 0
+    while collected < extra and failures < 50:
+        worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+        status, body = client.get_tasks(
+            session_id, worker, k=min(schema.num_columns, extra - collected)
+        )
+        if status == 409:
+            failures += 1
+            continue
+        assert status == 200, (status, body)
+        failures = 0
+        trace.append((worker, body["cells"], body["gains"]))
+        client.post_answers(
+            session_id,
+            worker,
+            [
+                (row, col, dataset.oracle.answer(worker, row, col, rng))
+                for row, col in body["cells"]
+            ],
+        )
+        collected += len(body["cells"])
+    return trace
+
+
+def multiprocess_main(processes: int) -> int:
+    process = start_server()
     try:
-        line = process.stdout.readline().strip()
-        if not line.startswith("listening on "):
-            raise RuntimeError(f"unexpected server banner: {line!r}")
-        address = line.removeprefix("listening on ")
+        address = server_address(process)
+        print(f"server up at {address}")
+        client = ServiceClient(address, timeout=60.0)
+
+        dataset = load_celebrity(seed=7, num_rows=8)
+        schema = dataset.schema
+        base = (
+            SessionSpec.builder()
+            .model(max_iterations=4, m_step_iterations=8)
+            .policy(refit_every=1)
+        )
+        mp_spec = base.serving(processes=processes).build()
+        oracle_spec = base.serving(processes=0).build()
+
+        mp_session = client.create_session(
+            {"schema": schema_to_dict(schema), **mp_spec.to_dict()}
+        )
+        assert "processes" in mp_session["policy"], mp_session
+        print(
+            f"multiprocess session {mp_session['session_id']} created "
+            f"({mp_session['policy']})"
+        )
+        oracle_session = client.create_session(
+            {"schema": schema_to_dict(schema), **oracle_spec.to_dict()}
+        )
+        print(f"oracle session {oracle_session['session_id']} created")
+
+        extra = int(round(0.4 * schema.num_cells))
+        mp_trace = drive_scripted_session(
+            client, mp_session["session_id"], dataset, extra
+        )
+        oracle_trace = drive_scripted_session(
+            client, oracle_session["session_id"], dataset, extra
+        )
+        assert mp_trace, "multiprocess session served no assignments"
+        if mp_trace != oracle_trace:
+            for step, (got, want) in enumerate(zip(mp_trace, oracle_trace)):
+                if got != want:
+                    raise AssertionError(
+                        f"assignment sequences diverged at step {step}: "
+                        f"processes={processes} returned {got}, in-process "
+                        f"oracle returned {want}"
+                    )
+            raise AssertionError(
+                f"trace lengths differ: {len(mp_trace)} vs "
+                f"{len(oracle_trace)}"
+            )
+        print(
+            f"equivalence OK: {len(mp_trace)} assignments bit-identical "
+            f"(cells + gains) across processes={processes} and in-process"
+        )
+
+        mp_estimates = client.get_estimates(mp_session["session_id"])
+        oracle_estimates = client.get_estimates(oracle_session["session_id"])
+        assert mp_estimates["estimates"] == oracle_estimates["estimates"], (
+            "final estimates diverged between the multiprocess and "
+            "in-process sessions"
+        )
+        print("final estimates identical")
+
+        # Deleting the session must shut its shard workers down; the server
+        # then exits cleanly with no orphaned children.
+        client.delete_session(mp_session["session_id"])
+        client.delete_session(oracle_session["session_id"])
+        process.send_signal(signal.SIGINT)
+        remaining, _ = process.communicate(timeout=30)
+        if "shut down cleanly" not in remaining:
+            raise RuntimeError(f"no clean shutdown message in: {remaining!r}")
+        print("clean shutdown OK")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="run the multi-process equivalence smoke instead: a "
+        "serving.processes=N session vs an in-process oracle session, "
+        "identical scripted RNG, assignment sequences asserted "
+        "bit-identical (default 0 = the standard smoke)",
+    )
+    args = parser.parse_args()
+    if args.processes >= 1:
+        return multiprocess_main(args.processes)
+    process = start_server()
+    try:
+        address = server_address(process)
         print(f"server up at {address}")
         client = ServiceClient(address, timeout=30.0)
 

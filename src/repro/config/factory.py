@@ -12,6 +12,7 @@ defaults                  the plain incremental assigner, unwrapped
 ``shards`` > 1 only       :class:`~repro.engine.ShardedAssignmentPolicy`
 ``async_refit`` only      :class:`~repro.engine.AsyncRefitPolicy`
 both                      :class:`~repro.engine.ShardedAsyncPolicy`
+``processes`` >= 1        :class:`~repro.engine.ProcessShardCoordinator`
 ========================  =============================================
 """
 
@@ -71,8 +72,16 @@ def wrap_policy(
         return policy
     if not isinstance(policy, TCrowdAssigner):
         raise ConfigurationError(
-            "serving.shards > 1 / serving.async_refit require a "
-            f"TCrowdAssigner policy, got {type(policy).__name__}"
+            "serving.shards > 1 / serving.async_refit / serving.processes "
+            f">= 1 require a TCrowdAssigner policy, got {type(policy).__name__}"
+        )
+    if serving.processes >= 1:
+        from repro.engine import ProcessShardCoordinator
+
+        return ProcessShardCoordinator(
+            policy,
+            processes=serving.processes,
+            num_shards=max(serving.shards, serving.processes),
         )
     if serving.shards > 1 and serving.async_refit:
         from repro.engine import ShardedAsyncPolicy

@@ -304,6 +304,13 @@ class ServingSpec:
     calculator across selects, keyed by ``(epoch, answers_seen)``; the
     cache is behaviour-neutral (a hit requires the exact inputs a rebuild
     would use) and exists purely as an escape hatch for debugging.
+
+    ``processes`` moves the scoring/refit workers out of process: ``0``
+    (the default) keeps every serving mode in-process; ``N >= 1`` spawns
+    ``N`` shard-group worker processes behind a coordinator
+    (:class:`repro.engine.coordinator.ProcessShardCoordinator`).  The
+    effective shard count is ``max(shards, processes)`` so every worker
+    owns at least one contiguous shard range.
     """
 
     _SECTION: ClassVar[str] = "serving"
@@ -314,6 +321,7 @@ class ServingSpec:
     max_stale_answers: Optional[int] = 0
     refit_tol: Optional[float] = None
     scoring_cache: bool = True
+    processes: int = 0
 
     def __post_init__(self) -> None:
         s = self._SECTION
@@ -332,15 +340,26 @@ class ServingSpec:
                           exclusive=True, optional=True))
         set_(self, "scoring_cache",
              _check_bool(f"{s}.scoring_cache", self.scoring_cache))
+        set_(self, "processes",
+             _check_int(f"{s}.processes", self.processes, 0))
+        if self.processes and self.async_refit:
+            raise SpecValidationError(
+                f"{s}.async_refit",
+                "must be false when serving.processes >= 1 (worker "
+                "processes own their refit schedule; the in-process async "
+                "engine would race it)",
+            )
 
     @property
     def wants_wrapper(self) -> bool:
         """True when a serving wrapper (sharded/async/composed) is needed."""
-        return self.async_refit or self.shards > 1
+        return self.async_refit or self.shards > 1 or self.processes >= 1
 
     def describe(self) -> str:
         """Human-readable serving mode, e.g. ``sharded x4 + async refit``."""
         parts = []
+        if self.processes >= 1:
+            parts.append(f"multiprocess x{self.processes}")
         if self.shards > 1:
             parts.append(f"sharded x{self.shards}")
         if self.async_refit:
@@ -497,6 +516,13 @@ class SessionSpec:
                 "policy.continuous_samples",
                 "must be 0 when serving.async_refit is true (background "
                 "refits would reorder the Monte-Carlo sample stream)",
+            )
+        if self.serving.processes >= 1 and self.policy.continuous_samples:
+            raise SpecValidationError(
+                "policy.continuous_samples",
+                "must be 0 when serving.processes >= 1 (each worker "
+                "process draws its own Monte-Carlo sample stream, which "
+                "would diverge from the single-process stream)",
             )
 
     # -- codecs ---------------------------------------------------------------

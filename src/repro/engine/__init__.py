@@ -24,6 +24,8 @@ __all__ = [
     "AsyncRefitPolicy",
     "HotPathProfile",
     "ModelSnapshot",
+    "ProcessShardCoordinator",
+    "ShardGroupScorer",
     "VirtualClock",
 ]
 
@@ -36,6 +38,7 @@ _REFIT_EXPORTS = (
     "VirtualClock",
 )
 _COMPOSED_EXPORTS = ("ShardedAsyncPolicy",)
+_COORDINATOR_EXPORTS = ("ProcessShardCoordinator", "ShardGroupScorer")
 
 
 def __getattr__(name):
@@ -54,6 +57,10 @@ def __getattr__(name):
         from repro.engine import composed
 
         return getattr(composed, name)
+    if name in _COORDINATOR_EXPORTS:
+        from repro.engine import coordinator
+
+        return getattr(coordinator, name)
     if name in _PROFILING_EXPORTS:
         from repro.engine import profiling
 

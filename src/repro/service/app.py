@@ -54,6 +54,7 @@ from repro.utils.exceptions import (
     DataError,
     DurabilityError,
     InferenceError,
+    ServiceUnavailableError,
 )
 
 _STATUS = {
@@ -64,6 +65,7 @@ _STATUS = {
     405: "405 Method Not Allowed",
     409: "409 Conflict",
     500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
 }
 
 _SESSION_PATH = re.compile(
@@ -204,6 +206,9 @@ class ServiceApp:
             status, body = 404, {"error": f"Unknown resource: {exc.args[0]!r}"}
         except AssignmentError as exc:
             status, body = 409, {"error": str(exc)}
+        except ServiceUnavailableError as exc:
+            # A dead shard worker process: explicit 503, never a hang.
+            status, body = 503, {"error": str(exc)}
         except (InferenceError, DurabilityError) as exc:
             status, body = 500, {"error": str(exc)}
         if isinstance(body, str):

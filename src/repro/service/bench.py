@@ -53,8 +53,10 @@ DEFAULT_SCENARIO = {
     "model_kwargs": {"max_iterations": 6, "m_step_iterations": 10},
 }
 
-#: Serving-mode keys accepted by the scripted drivers.
-SERVING_MODES = ("plain", "sharded", "async", "sharded_async")
+#: Serving-mode keys accepted by the scripted drivers.  ``multiprocess``
+#: serves the scenario's shards from two real worker subprocesses behind
+#: :class:`~repro.engine.ProcessShardCoordinator`.
+SERVING_MODES = ("plain", "sharded", "async", "sharded_async", "multiprocess")
 
 
 def _serving_config(mode: str, scenario: dict) -> dict:
@@ -70,6 +72,8 @@ def _serving_config(mode: str, scenario: dict) -> dict:
             "async_refit": True,
             "max_stale_answers": 0,
         }
+    if mode == "multiprocess":
+        return {"shards": scenario["num_shards"], "processes": 2}
     raise ValueError(f"Unknown serving mode {mode!r}; expected {SERVING_MODES}")
 
 

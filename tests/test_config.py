@@ -208,6 +208,31 @@ class TestValidation:
         with pytest.raises(SpecValidationError, match="serving.shards"):
             ServingSpec(shards=True)
 
+    def test_processes_rejects_async_refit(self):
+        """Worker processes own their refit schedule: the in-process async
+        engine would race it, so the combination is a spec error."""
+        with pytest.raises(SpecValidationError, match="serving.async_refit"):
+            ServingSpec(processes=2, async_refit=True)
+        with pytest.raises(SpecValidationError, match="serving.processes"):
+            ServingSpec(processes=-1)
+
+    def test_processes_rejects_monte_carlo_gains(self):
+        with pytest.raises(SpecValidationError) as excinfo:
+            SessionSpec.from_dict(
+                {
+                    "version": 1,
+                    "policy": {"continuous_samples": 4},
+                    "serving": {"processes": 2},
+                }
+            )
+        assert excinfo.value.path == "policy.continuous_samples"
+
+    def test_processes_describe_and_wrapper(self):
+        spec = ServingSpec(processes=2, shards=4)
+        assert spec.wants_wrapper
+        assert spec.describe() == "multiprocess x2 + sharded x4"
+        assert not ServingSpec().wants_wrapper
+
     def test_max_stale_semantics_are_unified(self):
         """One default for every entry point: 0 = blocking (bit-exact)."""
         assert ServingSpec().max_stale_answers == 0
