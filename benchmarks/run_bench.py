@@ -46,6 +46,11 @@ Recorded fields (see also ``benchmarks/README.md``):
   mid-run (write-ahead log with a torn tail) must recover and continue to
   the very same assignment sequence and final estimates as an
   uninterrupted run (see :mod:`repro.service.wal`).
+* ``recovery_rotation_identical`` / ``recovery_rotation_disk_bounded``
+  (with ``--serve``) — the same equivalence with WAL segment rotation and
+  snapshot GC enabled, per storage backend (JSONL segments and SQLite),
+  plus the bounded-disk guarantee: at most ``keep_snapshots`` snapshots
+  and 2 log segments survive the run.
 * ``serve_requests_per_sec`` / ``serve_select_p50_ms`` /
   ``serve_select_p99_ms`` (with ``--serve``) — HTTP serving throughput of
   one scripted session driven against a live ``repro.service`` server on
@@ -278,7 +283,11 @@ def main(argv=None) -> int:
             )
         )
     if args.serve:
-        from repro.service.bench import measure_serving, verify_recovery_identical
+        from repro.service.bench import (
+            measure_serving,
+            verify_recovery_identical,
+            verify_recovery_rotation,
+        )
 
         stats.update(
             verify_recovery_identical(
@@ -288,6 +297,34 @@ def main(argv=None) -> int:
                 snapshot_every=25,
             )
         )
+        # Recovery with segment rotation + snapshot GC on, per backend:
+        # the bounded-disk layout must keep the same bit-identity bit.
+        rotation_identical = True
+        rotation_bounded = True
+        for storage_backend in ("jsonl", "sqlite"):
+            rotation = verify_recovery_rotation(
+                mode="sharded", backend=storage_backend
+            )
+            rotation_identical &= rotation["rotation_identical"]
+            rotation_bounded &= rotation["rotation_disk_bounded"]
+            stats.update(
+                {
+                    f"recovery_rotation_identical_{storage_backend}": rotation[
+                        "rotation_identical"
+                    ],
+                    f"recovery_rotation_disk_bounded_{storage_backend}": rotation[
+                        "rotation_disk_bounded"
+                    ],
+                    f"recovery_rotation_segments_{storage_backend}": rotation[
+                        "rotation_wal_segments"
+                    ],
+                    f"recovery_rotation_snapshots_{storage_backend}": rotation[
+                        "rotation_snapshots_retained"
+                    ],
+                }
+            )
+        stats["recovery_rotation_identical"] = bool(rotation_identical)
+        stats["recovery_rotation_disk_bounded"] = bool(rotation_bounded)
         stats.update(
             measure_serving(
                 seed=args.seed,
@@ -353,6 +390,20 @@ def main(argv=None) -> int:
         print(
             "FAIL: WAL+snapshot recovery did not reproduce the "
             "uninterrupted session bit for bit",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("recovery_rotation_identical", True):
+        print(
+            "FAIL: recovery with WAL segment rotation + snapshot GC "
+            "diverged from the uninterrupted session",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("recovery_rotation_disk_bounded", True):
+        print(
+            "FAIL: rotation + GC left more than keep_snapshots snapshots "
+            "or more than 2 WAL segments on disk",
             file=sys.stderr,
         )
         return 1

@@ -17,10 +17,21 @@ sessions return bit-identical assignment sequences — cells *and* gains —
 over live HTTP.  Set ``REPRO_WORKER_LOG_DIR`` to collect the workers'
 stdout/stderr logs (CI uploads them as an artifact on failure).
 
+With ``--rotate`` the smoke pins **bounded durability** end to end, once
+per storage backend (JSONL segments and sqlite): it starts the server with
+a ``--durable-root``, creates a durable session with a deliberately tiny
+``rotate_every_records`` / ``keep_snapshots`` so the WAL rotates and the
+GC prunes many times during the drive, restarts the server (SIGINT + a
+fresh process over the same root), and asserts the recovered session
+serves **bit-identical** estimates, that the on-disk file count stayed
+bounded (``keep_snapshots`` + 2 WAL segments + the session manifest), and
+that the session keeps serving selects after recovery.
+
 Usage::
 
     PYTHONPATH=src python scripts/service_smoke.py
     PYTHONPATH=src python scripts/service_smoke.py --processes 2
+    PYTHONPATH=src python scripts/service_smoke.py --rotate
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import pathlib
 import signal
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -43,9 +55,9 @@ from repro.service.bench import ServiceClient  # noqa: E402
 from repro.service.registry import schema_to_dict  # noqa: E402
 
 
-def start_server() -> subprocess.Popen:
+def start_server(*extra_args: str) -> subprocess.Popen:
     return subprocess.Popen(
-        [sys.executable, "-m", "repro.service", "--port", "0"],
+        [sys.executable, "-m", "repro.service", "--port", "0", *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -62,6 +74,33 @@ def server_address(process: subprocess.Popen) -> str:
     if not line.startswith("listening on "):
         raise RuntimeError(f"unexpected server banner: {line!r}")
     return line.removeprefix("listening on ")
+
+
+def server_address_after_recovery(
+    process: subprocess.Popen,
+) -> tuple:
+    """Like :func:`server_address`, tolerating ``recovered session`` lines.
+
+    A server restarted over a populated ``--durable-root`` prints one
+    ``recovered session <id>`` line per session *before* the listening
+    banner.  Returns ``(address, [recovered session ids])``.
+    """
+    recovered = []
+    while True:
+        line = process.stdout.readline().strip()
+        if line.startswith("recovered session "):
+            recovered.append(line.removeprefix("recovered session "))
+            continue
+        if line.startswith("listening on "):
+            return line.removeprefix("listening on "), recovered
+        raise RuntimeError(f"unexpected server banner: {line!r}")
+
+
+def stop_server(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGINT)
+    remaining, _ = process.communicate(timeout=30)
+    if "shut down cleanly" not in remaining:
+        raise RuntimeError(f"no clean shutdown message in: {remaining!r}")
 
 
 def drive_scripted_session(
@@ -191,6 +230,137 @@ def multiprocess_main(processes: int) -> int:
             process.wait(timeout=10)
 
 
+def rotate_backend_pass(backend: str, root: pathlib.Path) -> None:
+    """Pin bounded durability for one storage backend, over a real restart."""
+    # Snapshots must be cut a few times per segment for the GC cover (the
+    # oldest retained snapshot) to stay within one segment of the tail —
+    # that is what keeps the sealed-segment count at <= 1 + the active one.
+    rotate_every, keep_snapshots, snapshot_every = 12, 2, 10
+    max_segments = 2 if backend == "jsonl" else 1
+    # Snapshots + live WAL segments + the session.json manifest.
+    file_bound = keep_snapshots + 2 + 1
+
+    process = start_server("--durable-root", str(root))
+    try:
+        address = server_address(process)
+        print(f"[{backend}] server up at {address}")
+        client = ServiceClient(address, timeout=60.0)
+
+        dataset = load_celebrity(seed=7, num_rows=24)
+        schema = dataset.schema
+        spec = (
+            SessionSpec.builder()
+            .model(max_iterations=4, m_step_iterations=8)
+            .policy(refit_every=1)
+            .durable(
+                None,
+                snapshot_every_answers=snapshot_every,
+                wal_fsync=False,
+                backend=backend,
+                rotate_every_records=rotate_every,
+                keep_snapshots=keep_snapshots,
+            )
+            .build()
+        )
+        session = client.create_session(
+            {"schema": schema_to_dict(schema), "durable": True, **spec.to_dict()}
+        )
+        session_id = session["session_id"]
+        assert session["durability_backend"] == backend, session
+        print(f"[{backend}] durable session {session_id} created")
+
+        trace = drive_scripted_session(
+            client, session_id, dataset, extra=int(round(0.4 * schema.num_cells))
+        )
+        assert trace, "durable session served no assignments"
+        answers_posted = schema.num_rows * schema.num_columns + sum(
+            len(cells) for _, cells, _ in trace
+        )
+        assert answers_posted >= 10 * rotate_every, answers_posted
+
+        before = client.get_estimates(session_id)
+        status, stats = client.request("GET", f"/sessions/{session_id}")
+        assert status == 200, (status, stats)
+        assert stats["wal_records"] >= 3 * rotate_every, stats
+        assert stats["wal_segments"] <= max_segments, stats
+        assert stats["snapshots_retained"] <= keep_snapshots, stats
+        files = [p for p in (root / session_id).rglob("*") if p.is_file()]
+        assert len(files) <= file_bound, sorted(p.name for p in files)
+        print(
+            f"[{backend}] disk bounded after {answers_posted} answers / "
+            f"{stats['wal_records']} WAL records: {len(files)} files <= "
+            f"{file_bound}, {stats['wal_segments']} segment(s), "
+            f"{stats['snapshots_retained']} snapshot(s)"
+        )
+
+        stop_server(process)
+        print(f"[{backend}] clean shutdown OK")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    # A fresh server process over the same root must recover the session
+    # from the rotated, GC'd log and keep serving.
+    process = start_server("--durable-root", str(root))
+    try:
+        address, recovered = server_address_after_recovery(process)
+        assert session_id in recovered, (session_id, recovered)
+        print(f"[{backend}] restarted server recovered {session_id}")
+        client = ServiceClient(address, timeout=60.0)
+
+        after = client.get_estimates(session_id)
+        assert after["estimates"] == before["estimates"], (
+            "estimates diverged across the restart"
+        )
+        print(
+            f"[{backend}] recovery bit-identical: "
+            f"{len(after['estimates'])} estimates match pre-restart"
+        )
+
+        pool = dataset.worker_pool
+        worker_ids, activities = pool.worker_ids(), pool.activities()
+        rng = np.random.default_rng(11)
+        served = False
+        for _ in range(50):
+            worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+            status, body = client.get_tasks(session_id, worker, k=3)
+            if status == 409:
+                continue
+            assert status == 200, (status, body)
+            client.post_answers(
+                session_id,
+                worker,
+                [
+                    (row, col, dataset.oracle.answer(worker, row, col, rng))
+                    for row, col in body["cells"]
+                ],
+            )
+            served = True
+            break
+        assert served, "recovered session served no assignment"
+        status, stats = client.request("GET", f"/sessions/{session_id}")
+        assert status == 200 and stats["wal_segments"] <= max_segments, stats
+        print(f"[{backend}] recovered session still serving")
+
+        stop_server(process)
+        print(f"[{backend}] clean shutdown OK")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def rotate_main() -> int:
+    for backend in ("jsonl", "sqlite"):
+        with tempfile.TemporaryDirectory(
+            prefix=f"repro-rotate-{backend}-"
+        ) as tmp:
+            rotate_backend_pass(backend, pathlib.Path(tmp))
+    print("rotation + GC smoke OK (jsonl + sqlite)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -202,7 +372,17 @@ def main() -> int:
         "identical scripted RNG, assignment sequences asserted "
         "bit-identical (default 0 = the standard smoke)",
     )
+    parser.add_argument(
+        "--rotate",
+        action="store_true",
+        help="run the bounded-durability smoke instead: durable sessions "
+        "with tiny rotate_every_records/keep_snapshots on both storage "
+        "backends, a server restart, bit-identical recovery and a bounded "
+        "on-disk file count",
+    )
     args = parser.parse_args()
+    if args.rotate:
+        return rotate_main()
     if args.processes >= 1:
         return multiprocess_main(args.processes)
     process = start_server()

@@ -145,4 +145,7 @@ def build_durable_session(
         snapshot_every=spec.durability.snapshot_every_answers,
         fsync=spec.durability.wal_fsync,
         fresh=fresh,
+        backend=spec.durability.backend,
+        rotate_every_records=spec.durability.rotate_every_records,
+        keep_snapshots=spec.durability.keep_snapshots,
     )

@@ -380,16 +380,28 @@ class ServingSpec:
         return cls(**payload)
 
 
+#: Durability backend names (must match ``repro.service.storage``; listed
+#: here so the spec module stays importable without the service package).
+DURABILITY_BACKENDS = ("jsonl", "sqlite")
+
+
 @dataclass(frozen=True)
 class DurabilitySpec:
-    """Write-ahead logging and snapshot cadence (:mod:`repro.service.wal`).
+    """Write-ahead logging, snapshot cadence and retention
+    (:mod:`repro.service.wal` / :mod:`repro.service.storage`).
 
     ``durable_dir`` is where the WAL and snapshots live; ``None`` disables
     durability (the service can still resolve a directory for you when the
     envelope carries ``"durable": true`` and the server has a
-    ``--durable-root``).  ``wal_fsync`` forces every append to disk —
-    power-loss durability at a heavy per-event cost; the flush-only default
-    survives process crashes.
+    ``--durable-root``).  ``backend`` picks the storage layout (``jsonl``
+    segments or one ``sqlite`` database).  ``wal_fsync`` forces every
+    append — and snapshot — to disk: power-loss durability at a heavy
+    per-event cost; the flush-only default survives process crashes.
+    ``rotate_every_records`` seals a JSONL WAL segment after that many
+    records (``None`` keeps the single-file layout; SQLite ignores it);
+    ``keep_snapshots`` retains only the newest N snapshots and prunes WAL
+    storage their oldest survivor fully covers (``None`` retains
+    everything).
     """
 
     _SECTION: ClassVar[str] = "durability"
@@ -397,6 +409,9 @@ class DurabilitySpec:
     durable_dir: Optional[str] = None
     snapshot_every_answers: int = 200
     wal_fsync: bool = False
+    backend: str = "jsonl"
+    rotate_every_records: Optional[int] = None
+    keep_snapshots: Optional[int] = None
 
     def __post_init__(self) -> None:
         s = self._SECTION
@@ -407,6 +422,19 @@ class DurabilitySpec:
              _check_int(f"{s}.snapshot_every_answers",
                         self.snapshot_every_answers, 1))
         set_(self, "wal_fsync", _check_bool(f"{s}.wal_fsync", self.wal_fsync))
+        backend = _check_str(f"{s}.backend", self.backend)
+        if backend not in DURABILITY_BACKENDS:
+            raise SpecValidationError(
+                f"{s}.backend",
+                f"must be one of {list(DURABILITY_BACKENDS)}, got {backend!r}",
+            )
+        set_(self, "backend", backend)
+        set_(self, "rotate_every_records",
+             _check_int(f"{s}.rotate_every_records",
+                        self.rotate_every_records, 1, optional=True))
+        set_(self, "keep_snapshots",
+             _check_int(f"{s}.keep_snapshots",
+                        self.keep_snapshots, 1, optional=True))
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -692,6 +720,9 @@ class SessionSpecBuilder:
         durable_dir,
         snapshot_every_answers: Optional[int] = None,
         wal_fsync: Optional[bool] = None,
+        backend: Optional[str] = None,
+        rotate_every_records: Optional[int] = None,
+        keep_snapshots: Optional[int] = None,
     ) -> "SessionSpecBuilder":
         """Log every event to a write-ahead log under ``durable_dir``."""
         self._durability["durable_dir"] = (
@@ -701,6 +732,12 @@ class SessionSpecBuilder:
             self._durability["snapshot_every_answers"] = snapshot_every_answers
         if wal_fsync is not None:
             self._durability["wal_fsync"] = wal_fsync
+        if backend is not None:
+            self._durability["backend"] = backend
+        if rotate_every_records is not None:
+            self._durability["rotate_every_records"] = rotate_every_records
+        if keep_snapshots is not None:
+            self._durability["keep_snapshots"] = keep_snapshots
         return self
 
     def simulation(self, **options) -> "SessionSpecBuilder":

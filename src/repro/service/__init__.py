@@ -4,10 +4,13 @@ The engine packages give the online loop three fast serving paths
 (incremental, sharded, async-refit); this package is the layer that serves
 them to live workers instead of in-process simulation loops:
 
-* :mod:`repro.service.wal` — a durable session: an append-only JSONL
+* :mod:`repro.service.wal` — a durable session: an append-only
   write-ahead answer log plus periodic engine-state snapshots, replayable to
   a **bit-identical** rebuild of the session (answers, incremental indexes
   and the warm-start EM chain).
+* :mod:`repro.service.storage` — the pluggable storage backends under it:
+  rotated JSONL segments or a single stdlib ``sqlite3`` database, both with
+  snapshot retention / WAL GC so long-lived sessions stay disk-bounded.
 * :mod:`repro.service.registry` — multi-tenant session registry with a
   per-session lock discipline, plus the JSON codecs for schemas and session
   configurations.
@@ -25,12 +28,22 @@ durability/replay model).
 """
 
 from repro.service.registry import ServedSession, SessionRegistry
+from repro.service.storage import (
+    JsonlBackend,
+    SqliteBackend,
+    StorageBackend,
+    create_backend,
+)
 from repro.service.wal import DurableSession, SnapshotStore, WriteAheadLog
 
 __all__ = [
     "DurableSession",
+    "JsonlBackend",
     "ServedSession",
     "SessionRegistry",
     "SnapshotStore",
+    "SqliteBackend",
+    "StorageBackend",
     "WriteAheadLog",
+    "create_backend",
 ]

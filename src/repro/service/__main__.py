@@ -16,7 +16,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.service.app import ServiceServer
+from repro.config.spec import DURABILITY_BACKENDS
+from repro.service.app import DEFAULT_MAX_BODY_BYTES, ServiceServer
 from repro.service.registry import SessionRegistry
 
 
@@ -35,10 +36,27 @@ def build_server(argv=None) -> ServiceServer:
         help="directory for durable sessions ({'durable': true} configs); "
         "existing sessions under it are recovered at startup",
     )
+    parser.add_argument(
+        "--durable-backend", default=None, choices=DURABILITY_BACKENDS,
+        help="default storage backend for durable sessions whose spec "
+        "does not set durability.backend (recovered sessions keep the "
+        "backend pinned in their manifest)",
+    )
+    parser.add_argument(
+        "--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES,
+        help="request-body size cap; larger uploads are rejected with 413",
+    )
     args = parser.parse_args(argv)
-    registry = SessionRegistry(durable_root=args.durable_root)
+    registry = SessionRegistry(
+        durable_root=args.durable_root, durable_backend=args.durable_backend
+    )
     recovered = registry.recover_all()
-    server = ServiceServer(registry, host=args.host, port=args.port)
+    server = ServiceServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_body_bytes=args.max_body_bytes,
+    )
     for session_id in recovered:
         print(f"recovered session {session_id}", flush=True)
     return server

@@ -64,9 +64,14 @@ _STATUS = {
     404: "404 Not Found",
     405: "405 Method Not Allowed",
     409: "409 Conflict",
+    413: "413 Payload Too Large",
     500: "500 Internal Server Error",
     503: "503 Service Unavailable",
 }
+
+#: Default request-body cap — far above any real config or answer batch,
+#: far below anything that could exhaust server memory.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _SESSION_PATH = re.compile(
     r"^/sessions/(?P<sid>[A-Za-z0-9_.-]+)"
@@ -168,6 +173,21 @@ class ServiceMetrics:
                 f"repro_service_select_latency_seconds_sum {self.select_seconds_sum:.6f}",
                 f"repro_service_select_latency_seconds_count {self.selects_served}",
             ]
+        wal_segments = 0
+        snapshots_retained = 0
+        for session in registry.sessions():
+            wal_segments += session.durable.wal_segments
+            snapshots_retained += session.durable.snapshots_retained
+        lines += [
+            "# HELP repro_service_wal_segments On-disk WAL segments across "
+            "durable sessions.",
+            "# TYPE repro_service_wal_segments gauge",
+            f"repro_service_wal_segments {wal_segments}",
+            "# HELP repro_service_snapshots_retained Snapshots retained across "
+            "durable sessions (after GC).",
+            "# TYPE repro_service_snapshots_retained gauge",
+            f"repro_service_snapshots_retained {snapshots_retained}",
+        ]
         # The hot-path profile carries its own lock; render it outside ours.
         lines.extend(self.hotpath.render_prometheus())
         return "\n".join(lines) + "\n"
@@ -176,8 +196,13 @@ class ServiceMetrics:
 class ServiceApp:
     """The WSGI application: routing, JSON codecs, error mapping."""
 
-    def __init__(self, registry: Optional[SessionRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
         self.registry = registry if registry is not None else SessionRegistry()
+        self.max_body_bytes = int(max_body_bytes)
         self.metrics = ServiceMetrics()
         # Policies built from here on report per-stage hot-path timings
         # into the /metrics histograms (sessions recovered before the app
@@ -310,15 +335,24 @@ class ServiceApp:
         if not isinstance(raw, list) or not raw:
             raise _HTTPError(400, "'answers' must be a non-empty list")
         items = []
-        for entry in raw:
+        for index, entry in enumerate(raw):
             if not isinstance(entry, dict):
-                raise _HTTPError(400, "Each answer must be an object")
-            try:
-                items.append((int(entry["row"]), int(entry["col"]), entry["value"]))
-            except (KeyError, TypeError, ValueError):
-                raise _HTTPError(
-                    400, "Each answer needs integer 'row'/'col' and a 'value'"
-                )
+                raise _HTTPError(400, f"answers[{index}] must be an object")
+            for field in ("row", "col", "value"):
+                if field not in entry:
+                    raise _HTTPError(400, f"answers[{index}] is missing {field!r}")
+            for field in ("row", "col"):
+                value = entry[field]
+                # bool is an int subclass: `true` would silently become
+                # row 1.  Strings and floats are rejected too — a JSON
+                # client that means 3 can send 3.
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise _HTTPError(
+                        400,
+                        f"answers[{index}].{field} must be an integer, "
+                        f"got {value!r}",
+                    )
+            items.append((entry["row"], entry["col"], entry["value"]))
         total = session.ingest(worker, items)
         self.metrics.observe_answers(len(items))
         return {
@@ -334,13 +368,25 @@ class ServiceApp:
         if method != expected:
             raise _HTTPError(405, f"Use {expected} for this endpoint")
 
-    @staticmethod
-    def _read_json(environ):
+    def _read_json(self, environ):
         try:
             length = int(environ.get("CONTENT_LENGTH") or 0)
         except ValueError:
             length = 0
-        raw = environ["wsgi.input"].read(length) if length else b""
+        if length > self.max_body_bytes:
+            raise _HTTPError(
+                413,
+                f"Request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+            )
+        raw = environ["wsgi.input"].read(length) if length > 0 else b""
+        if len(raw) < length:
+            # A closed connection mid-upload: distinguish from JSON noise.
+            raise _HTTPError(
+                400,
+                f"Truncated request body: Content-Length announced {length} "
+                f"bytes but only {len(raw)} arrived",
+            )
         if not raw:
             raise _HTTPError(400, "A JSON request body is required")
         try:
@@ -349,9 +395,12 @@ class ServiceApp:
             raise _HTTPError(400, f"Malformed JSON body: {exc}")
 
 
-def create_app(registry: Optional[SessionRegistry] = None) -> ServiceApp:
+def create_app(
+    registry: Optional[SessionRegistry] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> ServiceApp:
     """Build the WSGI application (exposed for tests and embedding)."""
-    return ServiceApp(registry)
+    return ServiceApp(registry, max_body_bytes=max_body_bytes)
 
 
 # -- server -------------------------------------------------------------------
@@ -382,8 +431,9 @@ class ServiceServer:
         registry: Optional[SessionRegistry] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
-        self.app = create_app(registry)
+        self.app = create_app(registry, max_body_bytes=max_body_bytes)
         self.registry = self.app.registry
         self._httpd = make_server(
             host,

@@ -38,7 +38,7 @@ from repro.config.factory import build_policy
 from repro.datasets import load_celebrity
 from repro.service.app import ServiceServer, _quantile
 from repro.service.registry import schema_to_dict
-from repro.service.wal import DurableSession
+from repro.service.wal import DurableSession, durable_summary
 from repro.utils.exceptions import AssignmentError, DurabilityError
 
 Cell = Tuple[int, int]
@@ -107,6 +107,9 @@ def run_scripted_session(
     crash_after_steps: Optional[int] = None,
     snapshot_every: int = 25,
     scenario: Optional[dict] = None,
+    backend: str = "jsonl",
+    rotate_every_records: Optional[int] = None,
+    keep_snapshots: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the scripted scenario through a :class:`DurableSession`.
 
@@ -123,7 +126,13 @@ def run_scripted_session(
     rng = np.random.default_rng(scenario["seed"])
     policy = _build_scripted_policy(schema, mode, scenario)
     session = DurableSession(
-        schema, policy, directory=directory, snapshot_every=snapshot_every
+        schema,
+        policy,
+        directory=directory,
+        snapshot_every=snapshot_every,
+        backend=backend,
+        rotate_every_records=rotate_every_records,
+        keep_snapshots=keep_snapshots,
     )
 
     for row in range(schema.num_rows):
@@ -181,13 +190,18 @@ def continue_scripted_session(
     directory=None,
     snapshot_every: int = 25,
     scenario: Optional[dict] = None,
+    backend: str = "jsonl",
+    rotate_every_records: Optional[int] = None,
+    keep_snapshots: Optional[int] = None,
 ) -> Dict[str, object]:
     """Recover a crashed scripted session and drive it to completion.
 
     The recovered prefix (decisions reconstructed from the log) plus the
     live continuation must reproduce an uninterrupted run exactly; the RNG
     is fast-forwarded by re-drawing every variate the crashed run consumed,
-    asserting each redraw against the logged value.
+    asserting each redraw against the logged value.  Fast-forwarding needs
+    the *whole* event history, so this driver requires an unpruned log —
+    use :func:`verify_recovery_rotation` when snapshot GC is on.
     """
     scenario = {**DEFAULT_SCENARIO, **(scenario or {})}
     dataset = load_celebrity(seed=scenario["seed"], num_rows=scenario["num_rows"])
@@ -197,7 +211,13 @@ def continue_scripted_session(
     rng = np.random.default_rng(scenario["seed"])
     policy = _build_scripted_policy(schema, mode, scenario)
     session = DurableSession(
-        schema, policy, directory=directory, snapshot_every=snapshot_every
+        schema,
+        policy,
+        directory=directory,
+        snapshot_every=snapshot_every,
+        backend=backend,
+        rotate_every_records=rotate_every_records,
+        keep_snapshots=keep_snapshots,
     )
 
     decisions: List[Tuple[str, Tuple[Cell, ...]]] = []
@@ -280,6 +300,44 @@ def continue_scripted_session(
     }
 
 
+def _abandon_session(session: DurableSession) -> None:
+    """Simulate a process kill: release threads/handles, never snapshot."""
+    close = getattr(session.policy, "close", None)
+    if close is not None:
+        close()
+    if session._storage is not None:
+        session._storage.close()
+
+
+def _newest_wal_segment(directory):
+    """The JSONL segment file a torn write would land in (``None`` if none)."""
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    segments = sorted(directory.glob("wal-*.jsonl"))
+    if segments:
+        return segments[-1]
+    legacy = directory / "wal.jsonl"
+    return legacy if legacy.exists() else None
+
+
+def _tear_wal_tail(directory, backend: str, truncate_bytes: int) -> int:
+    """Cut ``truncate_bytes`` off the newest JSONL segment (no-op on SQLite).
+
+    SQLite appends are transactions — a kill cannot leave a torn record, so
+    there is nothing to simulate.  Returns the bytes actually removed.
+    """
+    if not truncate_bytes or backend == "sqlite":
+        return 0
+    path = _newest_wal_segment(directory)
+    if path is None:
+        return 0
+    data = path.read_bytes()
+    torn = min(int(truncate_bytes), len(data))
+    path.write_bytes(data[: len(data) - torn])
+    return torn
+
+
 def verify_recovery_identical(
     mode: str = "plain",
     directory=None,
@@ -287,11 +345,16 @@ def verify_recovery_identical(
     truncate_bytes: int = 7,
     snapshot_every: int = 25,
     scenario: Optional[dict] = None,
+    backend: str = "jsonl",
+    rotate_every_records: Optional[int] = None,
 ) -> Dict[str, object]:
     """Crash, truncate, recover, continue — and compare bit for bit.
 
     ``directory`` must be empty/fresh; pass a temporary directory.  Returns
-    the comparison bits plus recovery diagnostics.
+    the comparison bits plus recovery diagnostics.  ``rotate_every_records``
+    exercises segment rotation (the RNG fast-forward continuation needs the
+    full log, so GC stays off here — :func:`verify_recovery_rotation`
+    covers rotation *with* retention).
     """
     import pathlib
     import tempfile
@@ -307,29 +370,28 @@ def verify_recovery_identical(
         crash_after_steps=crash_after_steps,
         snapshot_every=snapshot_every,
         scenario=scenario,
+        backend=backend,
+        rotate_every_records=rotate_every_records,
     )
     # Simulate the kill: drop the in-memory engine (its threads at most),
     # then tear a few bytes off the log tail — a write cut mid-record.
-    close = getattr(crashed["session"].policy, "close", None)
-    if close is not None:
-        close()
-    wal_path = directory / "wal.jsonl"
-    if truncate_bytes:
-        data = wal_path.read_bytes()
-        wal_path.write_bytes(data[: -int(truncate_bytes)])
+    _abandon_session(crashed["session"])
+    torn = _tear_wal_tail(directory, backend, truncate_bytes)
     continued = continue_scripted_session(
         mode, directory=directory, snapshot_every=snapshot_every,
-        scenario=scenario,
+        scenario=scenario, backend=backend,
+        rotate_every_records=rotate_every_records,
     )
     decisions_identical = continued["decisions"] == baseline["decisions"]
     estimates_identical = continued["estimates"] == baseline["estimates"]
     summary = {
         "recovery_mode": mode,
+        "recovery_backend": backend,
         "recovery_identical": bool(decisions_identical and estimates_identical),
         "recovery_decisions_identical": bool(decisions_identical),
         "recovery_estimates_identical": bool(estimates_identical),
         "recovery_steps_before_crash": int(crash_after_steps),
-        "recovery_truncated_bytes": int(truncate_bytes),
+        "recovery_truncated_bytes": int(torn),
         "recovery_replayed_records": continued["replayed_records"],
         "recovery_snapshot_epoch": continued["recovered_epoch"],
         "recovery_total_steps": len(baseline["decisions"]),
@@ -337,6 +399,202 @@ def verify_recovery_identical(
     if owns_dir:
         import shutil
 
+        shutil.rmtree(directory, ignore_errors=True)
+    return summary
+
+
+def run_scripted_session_restarting(
+    mode: str = "plain",
+    directory=None,
+    restart_after_steps: int = 4,
+    snapshot_every: int = 6,
+    scenario: Optional[dict] = None,
+    backend: str = "jsonl",
+    rotate_every_records: Optional[int] = None,
+    keep_snapshots: Optional[int] = None,
+    truncate_bytes: int = 0,
+) -> Dict[str, object]:
+    """The scripted scenario with a mid-run crash + in-place recovery.
+
+    Unlike :func:`continue_scripted_session` (which fast-forwards a fresh
+    RNG over the whole log, impossible once GC pruned the prefix), this
+    driver keeps its **live** RNG across the restart — exactly the server
+    restart scenario: the crowd out there doesn't rewind, only the serving
+    process is rebuilt from disk.  If the torn tail lost the answer batch
+    of an already-acknowledged step, the driver re-posts it (a real client
+    whose POST never got its 200 would retry).
+    """
+    scenario = {**DEFAULT_SCENARIO, **(scenario or {})}
+    dataset = load_celebrity(seed=scenario["seed"], num_rows=scenario["num_rows"])
+    schema = dataset.schema
+    pool = dataset.worker_pool
+    worker_ids, activities = pool.worker_ids(), pool.activities()
+    rng = np.random.default_rng(scenario["seed"])
+    durable_kwargs = dict(
+        directory=directory,
+        snapshot_every=snapshot_every,
+        backend=backend,
+        rotate_every_records=rotate_every_records,
+        keep_snapshots=keep_snapshots,
+    )
+    session = DurableSession(
+        schema, _build_scripted_policy(schema, mode, scenario), **durable_kwargs
+    )
+
+    for row in range(schema.num_rows):
+        worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+        items = [
+            (row, col, dataset.oracle.answer(worker, row, col, rng))
+            for col in range(schema.num_columns)
+        ]
+        session.append_answers(worker, items, observe=False)
+
+    extra = _extra_answers(schema, scenario)
+    decisions: List[Tuple[str, Tuple[Cell, ...]]] = []
+    collected = steps = failures = 0
+    restarted = False
+    replayed_records = 0
+    recovered_epoch = None
+    last_batch: Optional[Tuple[str, List[Tuple[int, int, object]]]] = None
+    while collected < extra and failures < 10 * len(worker_ids):
+        if not restarted and steps >= restart_after_steps:
+            restarted = True
+            _abandon_session(session)
+            _tear_wal_tail(directory, backend, truncate_bytes)
+            session = DurableSession(
+                schema,
+                _build_scripted_policy(schema, mode, scenario),
+                **durable_kwargs,
+            )
+            replayed_records = session.replayed_records
+            recovered_epoch = session.recovered_epoch
+            pending = session.dangling_select()
+            if pending is not None:
+                # The torn tail lost the last acknowledged answer batch;
+                # its select (and refit) replayed, so re-post the batch.
+                worker, _k = pending
+                if last_batch is None or last_batch[0] != worker:
+                    raise DurabilityError(
+                        "dangling select does not match the last driven step"
+                    )
+                session.append_answers(worker, last_batch[1])
+        worker = worker_ids[int(rng.choice(len(worker_ids), p=activities))]
+        batch = min(schema.num_columns, extra - collected)
+        try:
+            assignment = session.select(worker, k=batch)
+        except AssignmentError:
+            failures += 1
+            continue
+        failures = 0
+        items = [
+            (row, col, dataset.oracle.answer(worker, row, col, rng))
+            for row, col in assignment.cells
+        ]
+        session.append_answers(worker, items)
+        last_batch = (worker, items)
+        decisions.append((worker, assignment.cells))
+        collected += len(items)
+        steps += 1
+
+    result = session.estimates()
+    estimates = {
+        (row, col): result.estimate(row, col)
+        for row in range(schema.num_rows)
+        for col in range(schema.num_columns)
+    }
+    diagnostics = {
+        "decisions": decisions,
+        "estimates": estimates,
+        "session": session,
+        "restarted": restarted,
+        "replayed_records": replayed_records,
+        "recovered_epoch": recovered_epoch,
+        "wal_records": session.wal_records,
+        "wal_segments": session.wal_segments,
+        "snapshots_retained": session.snapshots_retained,
+    }
+    session.close()
+    # Post-close on-disk state (close cuts a final snapshot + GC pass);
+    # read from disk so it works after the SQLite connection is gone.
+    summary = durable_summary(directory)
+    diagnostics["wal_segments_closed"] = summary["wal_segments"]
+    diagnostics["snapshots_retained_closed"] = summary["snapshots"]
+    return diagnostics
+
+
+def _durable_file_count(directory) -> int:
+    """Files on disk under a durable directory (recursive)."""
+    import pathlib
+
+    return sum(1 for p in pathlib.Path(directory).rglob("*") if p.is_file())
+
+
+def verify_recovery_rotation(
+    mode: str = "plain",
+    backend: str = "jsonl",
+    directory=None,
+    restart_after_steps: int = 4,
+    truncate_bytes: int = 7,
+    snapshot_every: int = 6,
+    rotate_every_records: int = 8,
+    keep_snapshots: int = 2,
+    scenario: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Crash-recovery equivalence **with rotation + snapshot GC enabled**.
+
+    Runs the scripted scenario against a durable session whose log rotates
+    every ``rotate_every_records`` records and whose store retains only
+    ``keep_snapshots`` snapshots (pruned WAL prefix and all), crashes it
+    mid-run — tearing the newest segment's tail for JSONL — recovers it in
+    place and drives it to completion with the live RNG.  The assignment
+    sequence and final estimates must match an uninterrupted, in-memory
+    run bit for bit, and the on-disk footprint must stay bounded by
+    ``keep_snapshots`` snapshots + 2 log segments.
+    """
+    import pathlib
+    import shutil
+    import tempfile
+
+    owns_dir = directory is None
+    if owns_dir:
+        directory = tempfile.mkdtemp(prefix="repro-rotation-")
+    directory = pathlib.Path(directory)
+    baseline = run_scripted_session(mode, scenario=scenario)
+    restarted = run_scripted_session_restarting(
+        mode,
+        directory=directory,
+        restart_after_steps=restart_after_steps,
+        snapshot_every=snapshot_every,
+        scenario=scenario,
+        backend=backend,
+        rotate_every_records=rotate_every_records,
+        keep_snapshots=keep_snapshots,
+        truncate_bytes=truncate_bytes,
+    )
+    decisions_identical = restarted["decisions"] == baseline["decisions"]
+    estimates_identical = restarted["estimates"] == baseline["estimates"]
+    files = _durable_file_count(directory)
+    bound = keep_snapshots + 2
+    summary = {
+        "rotation_mode": mode,
+        "rotation_backend": backend,
+        "rotation_identical": bool(decisions_identical and estimates_identical),
+        "rotation_decisions_identical": bool(decisions_identical),
+        "rotation_estimates_identical": bool(estimates_identical),
+        "rotation_restarted": bool(restarted["restarted"]),
+        "rotation_replayed_records": restarted["replayed_records"],
+        "rotation_wal_records": restarted["wal_records"],
+        "rotation_wal_segments": restarted["wal_segments_closed"],
+        "rotation_snapshots_retained": restarted["snapshots_retained_closed"],
+        "rotation_files_on_disk": files,
+        "rotation_files_bound": bound,
+        "rotation_disk_bounded": bool(
+            files <= bound
+            and restarted["wal_segments_closed"] <= 2
+            and restarted["snapshots_retained_closed"] <= keep_snapshots
+        ),
+    }
+    if owns_dir:
         shutil.rmtree(directory, ignore_errors=True)
     return summary
 

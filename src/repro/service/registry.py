@@ -28,6 +28,7 @@ canonical spec back.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 import sys
@@ -287,7 +288,10 @@ class ServedSession:
                 "estimate_requests": self.estimate_requests,
                 "durable": self.durable.durable,
                 "wal_records": self.durable.wal_records,
+                "wal_segments": self.durable.wal_segments,
                 "snapshots_written": self.durable.snapshots_written,
+                "snapshots_retained": self.durable.snapshots_retained,
+                "durability_backend": self.durable.backend_name,
                 "recovered_epoch": self.durable.recovered_epoch,
             }
 
@@ -309,12 +313,18 @@ class SessionRegistry:
         Optional directory under which sessions created with
         ``{"durable": true}`` get their per-session subdirectory.  Explicit
         ``{"durable_dir": ...}`` configs work without it.
+    durable_backend:
+        Optional server-wide default storage backend (``"jsonl"`` /
+        ``"sqlite"``) applied to durable sessions whose config does not
+        set ``durability.backend`` explicitly.  Recovered sessions always
+        use the backend pinned in their manifest.
     """
 
-    def __init__(self, durable_root=None) -> None:
+    def __init__(self, durable_root=None, durable_backend=None) -> None:
         self.durable_root = (
             None if durable_root is None else pathlib.Path(durable_root)
         )
+        self.durable_backend = durable_backend
         self._sessions: Dict[str, ServedSession] = {}
         self._lock = threading.Lock()
         #: Optional :class:`~repro.engine.HotPathProfile` attached to every
@@ -330,6 +340,11 @@ class SessionRegistry:
         """Ids of every live session."""
         with self._lock:
             return sorted(self._sessions)
+
+    def sessions(self) -> List[ServedSession]:
+        """Snapshot of every live session (for metrics aggregation)."""
+        with self._lock:
+            return list(self._sessions.values())
 
     def get(self, session_id: str) -> ServedSession:
         """The live session with this id (raises :class:`KeyError`)."""
@@ -363,6 +378,7 @@ class SessionRegistry:
             # self-contained truth (a later create() on just that directory
             # recovers the identical session).
             spec = spec.with_durable_dir(str(durable_dir))
+            spec = self._apply_default_backend(config, spec)
         session = self._build(session_id, envelope, spec, durable_dir)
         if durable_dir is not None:
             manifest = {
@@ -398,6 +414,29 @@ class SessionRegistry:
                     file=sys.stderr,
                 )
         return recovered
+
+    def _apply_default_backend(self, config, spec: SessionSpec) -> SessionSpec:
+        """Fill in the server-wide default backend when the config left it out.
+
+        Only an *explicit* ``durability.backend`` in the request body wins
+        over the server default; the spec-level default (``jsonl``) does
+        not, or ``--durable-backend`` could never take effect.
+        """
+        if self.durable_backend is None:
+            return spec
+        requested = None
+        if isinstance(config, dict):
+            durability = config.get("durability")
+            if isinstance(durability, dict):
+                requested = durability.get("backend")
+        if requested is not None:
+            return spec
+        return dataclasses.replace(
+            spec,
+            durability=dataclasses.replace(
+                spec.durability, backend=self.durable_backend
+            ),
+        )
 
     def _resolve_durable_dir(
         self, envelope: dict, spec: SessionSpec

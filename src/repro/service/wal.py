@@ -3,23 +3,33 @@
 A live serving session must survive its process.  The durability model is
 the classic pair:
 
-* **Write-ahead log** (:class:`WriteAheadLog`) — one JSONL record per
-  session *event*, appended (and flushed) before the event is applied to
-  the in-memory engine.  Three event types exist: ``answers`` (a batch of
-  collected answers, optionally followed by a model ``observe``),
-  ``select`` (a task request — logged because selects can trigger refits,
-  which are part of the warm-start EM chain) and ``estimates`` (a full
-  catch-up fit — same reason).  A torn final write (partial line) is
-  detected and dropped on recovery, and the file is truncated back to the
-  last complete record before new appends.
+* **Write-ahead log** — one record per session *event*, appended (and
+  flushed) before the event is applied to the in-memory engine.  Three
+  event types exist: ``answers`` (a batch of collected answers,
+  optionally followed by a model ``observe``), ``select`` (a task
+  request — logged because selects can trigger refits, which are part of
+  the warm-start EM chain) and ``estimates`` (a full catch-up fit — same
+  reason).  Storage is pluggable (:mod:`repro.service.storage`): the
+  JSONL backend keeps rotated ``wal-<first_record>.jsonl`` segments, the
+  SQLite backend one ``durable.sqlite3`` database.  A torn final write
+  (process killed mid-append) is detected and dropped on recovery.
 
-* **Snapshots** (:class:`SnapshotStore`) — periodic engine-state files
-  keyed by ``(epoch, answers_seen)``: the serialized
-  :class:`~repro.core.inference.InferenceResult` of the latest refit plus
-  the WAL position they cover.  Snapshots are written atomically
-  (tmp + rename) and are pure *accelerators*: recovery without any
-  snapshot replays the whole log from record zero and reaches the same
-  state.
+* **Snapshots** — periodic engine-state records keyed by
+  ``(epoch, answers_seen)``: the serialized
+  :class:`~repro.core.inference.InferenceResult` of the latest refit, the
+  answer prefix it was fitted on, and the WAL position they cover.
+  Snapshots are written atomically.  Because a format-2 snapshot carries
+  its whole answer prefix, it is *standalone* — the WAL records it covers
+  are no longer needed for recovery, which is what makes segment GC safe
+  (format-1 snapshots carried only the model and pin the full log).
+
+**Bounded disk.**  With ``keep_snapshots`` set, every snapshot cut prunes
+the store down to the newest ``keep_snapshots`` snapshots and then asks
+the backend to drop WAL storage below the *oldest retained* snapshot's
+cover (only if every retained snapshot is standalone).  Record indexes
+stay global across pruning, so ``discard_lost_timeline`` still composes:
+a crash that loses the log tail discards exactly the snapshots past the
+surviving global count, and a pruned timeline can never be resurrected.
 
 **Replay is bit-identical.**  Everything the engine does is a
 deterministic function of the event sequence: answers are append-only,
@@ -49,11 +59,7 @@ process-level sharding (one recovered engine per shard group).
 
 from __future__ import annotations
 
-import json
-import os
 import pathlib
-import re
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,6 +69,15 @@ from repro.core.inference import InferenceResult
 from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
 from repro.core.schema import TableSchema
 from repro.core.worker_model import WorkerModel
+from repro.service.storage import (  # noqa: F401  (re-exported compat surface)
+    Snapshot,
+    SnapshotStore,
+    SqliteBackend,
+    StorageBackend,
+    WriteAheadLog,
+    create_backend,
+    read_wal,
+)
 from repro.utils.exceptions import (
     AssignmentError,
     ConfigurationError,
@@ -72,9 +87,10 @@ from repro.utils.exceptions import (
 Cell = Tuple[int, int]
 
 #: Bump when the WAL / snapshot record layout changes incompatibly.
-FORMAT_VERSION = 1
-
-_SNAPSHOT_NAME = re.compile(r"^snapshot-(\d+)-(\d+)\.json$")
+#: Format 2 adds the answer prefix to snapshot payloads (making them
+#: standalone, the precondition for WAL segment GC); format-1 snapshots
+#: are still recovered, but only while the full log prefix survives.
+FORMAT_VERSION = 2
 
 
 # -- model-state codec --------------------------------------------------------
@@ -148,210 +164,6 @@ def deserialize_result(payload: dict, schema: TableSchema) -> InferenceResult:
     )
 
 
-# -- write-ahead log ----------------------------------------------------------
-
-
-def read_wal(path: pathlib.Path) -> Tuple[List[dict], int]:
-    """Read every complete record of a WAL file.
-
-    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the offset
-    one past the last complete record.  A torn tail — a final line without
-    its newline, or one that no longer parses as JSON — is dropped, as is
-    everything after it (a corrupt middle record invalidates the rest of
-    the log: later records may depend on the lost event).
-    """
-    records: List[dict] = []
-    valid_bytes = 0
-    try:
-        data = path.read_bytes()
-    except FileNotFoundError:
-        return records, valid_bytes
-    offset = 0
-    while offset < len(data):
-        newline = data.find(b"\n", offset)
-        if newline < 0:
-            break  # torn tail: record written without its terminator
-        line = data[offset:newline]
-        try:
-            record = json.loads(line.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            break  # corrupt record: drop it and everything after
-        if not isinstance(record, dict):
-            break
-        records.append(record)
-        offset = newline + 1
-        valid_bytes = offset
-    return records, valid_bytes
-
-
-class WriteAheadLog:
-    """Append-only JSONL event log with torn-tail recovery.
-
-    Opening an existing file truncates it back to its last complete record
-    (so a torn write can never merge with the next append) and resumes the
-    record count from there.  ``fsync=True`` forces every append to disk —
-    full power-loss durability at a heavy per-event cost; the default
-    flush-only mode survives process crashes, which is the failure model
-    the recovery benchmark exercises.
-
-    The on-disk file is the source of truth: only the record count and the
-    newest record are held in memory, so a long-lived session's log costs
-    O(1) memory regardless of how many events it serves.
-    """
-
-    def __init__(self, path, fsync: bool = False) -> None:
-        self.path = pathlib.Path(path)
-        self.fsync = bool(fsync)
-        records, valid_bytes = read_wal(self.path)
-        self._count = len(records)
-        self._last_record: Optional[dict] = records[-1] if records else None
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(self.path, "ab")
-        if self._file.tell() != valid_bytes:
-            self._file.truncate(valid_bytes)
-            self._file.seek(valid_bytes)
-        self._closed = False
-
-    @property
-    def record_count(self) -> int:
-        """Number of complete records in the log."""
-        return self._count
-
-    @property
-    def last_record(self) -> Optional[dict]:
-        """The newest complete record (``None`` on an empty log)."""
-        return self._last_record
-
-    @property
-    def records(self) -> List[dict]:
-        """All complete records, oldest first — re-read from disk.
-
-        Every append was flushed before it was counted, so the read always
-        sees at least ``record_count`` records.
-        """
-        return read_wal(self.path)[0]
-
-    def append(self, record: dict) -> int:
-        """Durably append one record; return its index."""
-        if self._closed:
-            raise DurabilityError(f"WAL {self.path} is closed")
-        line = json.dumps(record, separators=(",", ":")) + "\n"
-        self._file.write(line.encode("utf-8"))
-        self._file.flush()
-        if self.fsync:
-            os.fsync(self._file.fileno())
-        self._count += 1
-        self._last_record = record
-        return self._count - 1
-
-    def close(self) -> None:
-        """Close the underlying file (idempotent)."""
-        if not self._closed:
-            self._closed = True
-            self._file.close()
-
-
-# -- snapshots ----------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Snapshot:
-    """One loaded snapshot file (see the module docs for the protocol)."""
-
-    epoch: int
-    answers_seen: int
-    wal_records: int
-    payload: dict
-    path: pathlib.Path
-
-
-class SnapshotStore:
-    """Atomic, epoch-ordered engine-state snapshot files in one directory."""
-
-    def __init__(self, directory) -> None:
-        self.directory = pathlib.Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-
-    def save(self, payload: dict) -> pathlib.Path:
-        """Write one snapshot atomically; return its path."""
-        epoch = int(payload["epoch"])
-        answers_seen = int(payload["answers_seen"])
-        name = f"snapshot-{epoch:06d}-{answers_seen:08d}.json"
-        path = self.directory / name
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload) + "\n", encoding="utf-8")
-        os.replace(tmp, path)
-        return path
-
-    def _entries(self) -> List[Tuple[int, int, pathlib.Path]]:
-        found = []
-        for path in self.directory.iterdir():
-            match = _SNAPSHOT_NAME.match(path.name)
-            if match:
-                found.append((int(match.group(1)), int(match.group(2)), path))
-        return sorted(found, key=lambda entry: (entry[0], entry[1]))
-
-    def paths(self) -> List[pathlib.Path]:
-        """Snapshot files, oldest epoch first."""
-        return [path for _epoch, _seen, path in self._entries()]
-
-    def next_epoch(self) -> int:
-        """One past the highest epoch number any file has ever used here.
-
-        Epochs must never be reused — not even those of snapshots that a
-        recovery later discards — so a file name, once observed, always
-        refers to the same immutable content.
-        """
-        entries = self._entries()
-        return entries[-1][0] + 1 if entries else 0
-
-    def discard_lost_timeline(self, max_wal_records: int) -> List[pathlib.Path]:
-        """Delete snapshots covering more WAL records than survive on disk.
-
-        A crash that loses the WAL tail can strand snapshots describing
-        events that no longer exist; they can never become valid again (the
-        regrown log diverges from the lost one), and leaving them around
-        would let a *later* recovery pick one once the new log grows past
-        their record count.  Recovery calls this before replaying.
-        """
-        removed = []
-        for _epoch, _seen, path in self._entries():
-            try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
-                stale = int(payload["wal_records"]) > max_wal_records
-            except (OSError, ValueError, KeyError):
-                continue  # unreadable files are merely skipped, never chosen
-            if stale:
-                path.unlink(missing_ok=True)
-                removed.append(path)
-        return removed
-
-    def latest(self, max_wal_records: Optional[int] = None) -> Optional[Snapshot]:
-        """Newest loadable snapshot covering at most ``max_wal_records``.
-
-        Unreadable files and snapshots that claim more WAL records than
-        survive on disk (possible when the log lost its tail after the
-        snapshot was cut) are skipped — recovery then falls back to an
-        older snapshot or to a full replay.
-        """
-        for path in reversed(self.paths()):
-            try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
-                snapshot = Snapshot(
-                    epoch=int(payload["epoch"]),
-                    answers_seen=int(payload["answers_seen"]),
-                    wal_records=int(payload["wal_records"]),
-                    payload=payload,
-                    path=path,
-                )
-            except (OSError, ValueError, KeyError):
-                continue
-            if max_wal_records is not None and snapshot.wal_records > max_wal_records:
-                continue
-            return snapshot
-        return None
-
-
 # -- durable session ----------------------------------------------------------
 
 
@@ -382,11 +194,23 @@ class DurableSession:
     snapshot_every:
         Cut a snapshot after this many newly collected answers.
     fsync:
-        See :class:`WriteAheadLog`.
+        Force every append (and snapshot) to disk — power-loss
+        durability; the default flush-only mode survives process crashes.
     fresh:
         Refuse to attach to a directory that already holds a log (used by
         the platform simulator, where silently resuming a previous run
         would corrupt the experiment).
+    backend:
+        Storage backend name (``"jsonl"`` or ``"sqlite"``, see
+        :mod:`repro.service.storage`).
+    rotate_every_records:
+        JSONL backend: seal the active WAL segment after this many
+        records and open a new one.  ``None`` keeps the historical single
+        ``wal.jsonl``.  Ignored by the SQLite backend.
+    keep_snapshots:
+        Retain only the newest N snapshots; after each prune, WAL storage
+        fully covered by the oldest *retained* snapshot is dropped.
+        ``None`` (the default) retains everything, exactly as before.
     """
 
     def __init__(
@@ -397,33 +221,43 @@ class DurableSession:
         snapshot_every: int = 200,
         fsync: bool = False,
         fresh: bool = False,
+        backend: str = "jsonl",
+        rotate_every_records: Optional[int] = None,
+        keep_snapshots: Optional[int] = None,
     ) -> None:
         if snapshot_every < 1:
             raise ConfigurationError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
             )
+        if keep_snapshots is not None and keep_snapshots < 1:
+            raise ConfigurationError(
+                f"keep_snapshots must be >= 1, got {keep_snapshots}"
+            )
         self.schema = schema
         self.policy = policy
         self.snapshot_every = int(snapshot_every)
+        self.keep_snapshots = keep_snapshots
         self.answers = AnswerSet(schema)
         self.replayed_records = 0
         self.recovered_epoch: Optional[int] = None
         self.snapshots_written = 0
         self._snapshot_epoch = 0
         self._answers_at_last_snapshot = 0
-        self._wal: Optional[WriteAheadLog] = None
-        self._snapshots: Optional[SnapshotStore] = None
+        self._storage: Optional[StorageBackend] = None
         if directory is not None:
             directory = pathlib.Path(directory)
-            directory.mkdir(parents=True, exist_ok=True)
-            self._snapshots = SnapshotStore(directory / "snapshots")
-            self._wal = WriteAheadLog(directory / "wal.jsonl", fsync=fsync)
-            if self._wal.record_count:
+            self._storage = create_backend(
+                directory,
+                backend=backend,
+                fsync=fsync,
+                rotate_every_records=rotate_every_records,
+            )
+            if self._storage.record_count:
                 if fresh:
-                    self._wal.close()
+                    self._storage.close()
                     raise ConfigurationError(
                         f"durable directory {directory} already holds a "
-                        f"write-ahead log with {self._wal.record_count} "
+                        f"write-ahead log with {self._storage.record_count} "
                         "records; recover it with DurableSession(...) on a "
                         "fresh policy instead of starting a new run over it"
                     )
@@ -434,30 +268,49 @@ class DurableSession:
     @property
     def durable(self) -> bool:
         """True when events are being logged to disk."""
-        return self._wal is not None
+        return self._storage is not None
 
     @property
     def wal_records(self) -> int:
-        """Number of complete records in the log (0 when in-memory)."""
-        return self._wal.record_count if self._wal is not None else 0
+        """Global record count of the log, pruned prefix included."""
+        return self._storage.record_count if self._storage is not None else 0
+
+    @property
+    def wal_segments(self) -> int:
+        """On-disk log pieces (0 when in-memory; always 1 for SQLite)."""
+        return self._storage.segment_count if self._storage is not None else 0
+
+    @property
+    def snapshots_retained(self) -> int:
+        """Snapshots currently on disk (after any GC)."""
+        return self._storage.snapshot_count if self._storage is not None else 0
+
+    @property
+    def backend_name(self) -> Optional[str]:
+        """Name of the storage backend (``None`` when in-memory)."""
+        return self._storage.name if self._storage is not None else None
 
     @property
     def events(self) -> List[dict]:
-        """Copy of the logged events, oldest first (empty when in-memory)."""
-        return list(self._wal.records) if self._wal is not None else []
+        """Copy of the *surviving* logged events, oldest first.
+
+        Empty when in-memory; with GC enabled the pruned prefix is gone,
+        so this starts at the backend's ``first_record_index``.
+        """
+        return self._storage.records() if self._storage is not None else []
 
     def loop_decisions(self) -> List[Tuple[str, Tuple[Cell, ...]]]:
         """The logged assignment outcomes ``(worker, cells)``, oldest first.
 
-        Reconstructed from the ``answers`` events with ``observe=True``
-        (each one is the collected batch of exactly one assignment), so a
-        recovery driver can compare the prefix a crashed process completed
-        against an uninterrupted run.
+        Reconstructed from the surviving ``answers`` events with
+        ``observe=True`` (each one is the collected batch of exactly one
+        assignment), so a recovery driver can compare the prefix a crashed
+        process completed against an uninterrupted run.
         """
-        if self._wal is None:
+        if self._storage is None:
             return []
         decisions = []
-        for record in self._wal.records:
+        for record in self._storage.records():
             if record.get("t") == "answers" and record.get("o", True):
                 cells = tuple(
                     (int(row), int(col)) for row, col, _value in record["a"]
@@ -473,9 +326,9 @@ class DurableSession:
         replayed refit made it deterministic) instead of drawing a new
         worker.
         """
-        if self._wal is None:
+        if self._storage is None:
             return None
-        last = self._wal.last_record
+        last = self._storage.last_record
         if last is not None and last.get("t") == "select":
             return last["w"], int(last["k"])
         return None
@@ -483,42 +336,81 @@ class DurableSession:
     # -- recovery -------------------------------------------------------------
 
     def _recover(self) -> None:
-        records = self._wal.records
-        start = 0
-        snapshot = None
-        if self._snapshots is not None:
-            # Epochs are never reused, even when the files carrying the
-            # highest ones came from a timeline the crash lost; only after
-            # fixing the counter are those stranded snapshots deleted (they
-            # could otherwise be picked by a *later* recovery once the
-            # regrown log passes their record count).
-            self._snapshot_epoch = self._snapshots.next_epoch()
-            self._snapshots.discard_lost_timeline(len(records))
-            snapshot = self._snapshots.latest(max_wal_records=len(records))
+        storage = self._storage
+        total = storage.record_count
+        first = storage.first_record_index
+        # Epochs are never reused, even when the files carrying the
+        # highest ones came from a timeline the crash lost; only after
+        # fixing the counter are those stranded snapshots deleted (they
+        # could otherwise be picked by a *later* recovery once the
+        # regrown log passes their record count).
+        self._snapshot_epoch = storage.next_epoch()
+        storage.discard_lost_timeline(total)
+        records = storage.records()
+        latest = storage.latest_snapshot(max_wal_records=total)
+        if latest is not None:
+            self._answers_at_last_snapshot = latest.answers_seen
+        snapshot = self._usable_snapshot(total, first)
+        start = first
         if snapshot is not None:
-            self._answers_at_last_snapshot = snapshot.answers_seen
-        model = snapshot.payload.get("model") if snapshot is not None else None
-        if model is not None and hasattr(self.policy, "restore_state"):
-            # Fast path: rebuild the answer prefix without side effects,
-            # re-seat the snapshot's exact model state, then replay the tail.
-            for record in records[: snapshot.wal_records]:
+            self._restore_snapshot(snapshot, records, first)
+            start = snapshot.wal_records
+        elif first > 0:
+            raise DurabilityError(
+                f"the WAL prefix below record {first} was pruned but no "
+                "retained snapshot is standalone (model + answer prefix); "
+                "the durable directory cannot be recovered"
+            )
+        for record in records[start - first:]:
+            self._apply(record)
+        self.replayed_records = total - start
+
+    def _usable_snapshot(self, total: int, first: int) -> Optional[Snapshot]:
+        """Newest snapshot the recovery fast path can actually start from.
+
+        Needs the serialized model (and a policy that can re-seat it) plus
+        a way to rebuild the answer prefix: either the payload carries the
+        answers (format 2) or the full log prefix survives on disk.
+        """
+        if not hasattr(self.policy, "restore_state"):
+            return None
+        for epoch in reversed(self._storage.snapshot_epochs()):
+            snapshot = self._storage.load_snapshot(epoch)
+            if snapshot is None:
+                continue
+            if snapshot.wal_records > total:
+                continue
+            if snapshot.payload.get("model") is None:
+                continue
+            if snapshot.payload.get("answers") is None and first > 0:
+                continue  # prefix-scan fallback impossible: records pruned
+            return snapshot
+        return None
+
+    def _restore_snapshot(
+        self, snapshot: Snapshot, records: List[dict], first: int
+    ) -> None:
+        """Re-seat one snapshot: answer prefix without side effects + model."""
+        answers = snapshot.payload.get("answers")
+        if answers is not None:
+            for worker, row, col, value in answers:
+                self.answers.add_answer(worker, int(row), int(col), value)
+        else:
+            for record in records[: snapshot.wal_records - first]:
                 if record.get("t") == "answers":
                     self._add_answers(record)
-            if len(self.answers) != snapshot.answers_seen:
-                raise DurabilityError(
-                    f"snapshot {snapshot.path.name} covers "
-                    f"{snapshot.answers_seen} answers but its WAL prefix "
-                    f"({snapshot.wal_records} records) holds "
-                    f"{len(self.answers)}; the durable directory is "
-                    "inconsistent"
-                )
-            result = deserialize_result(model["result"], self.schema)
-            self.policy.restore_state(result, int(model["answers_seen"]))
-            self.recovered_epoch = snapshot.epoch
-            start = snapshot.wal_records
-        for record in records[start:]:
-            self._apply(record)
-        self.replayed_records = len(records) - start
+        if len(self.answers) != snapshot.answers_seen:
+            raise DurabilityError(
+                f"snapshot epoch {snapshot.epoch} covers "
+                f"{snapshot.answers_seen} answers but its recovered prefix "
+                f"({snapshot.wal_records} records) holds "
+                f"{len(self.answers)}; the durable directory is inconsistent"
+            )
+        model = snapshot.payload["model"]
+        result = deserialize_result(model["result"], self.schema)
+        self.policy.restore_state(result, int(model["answers_seen"]))
+        self.recovered_epoch = snapshot.epoch
+        self._answers_at_last_snapshot = snapshot.answers_seen
 
     def _add_answers(self, record: dict) -> None:
         for row, col, value in record["a"]:
@@ -545,8 +437,8 @@ class DurableSession:
 
     def select(self, worker: str, k: int = 1):
         """Log and run one assignment request."""
-        if self._wal is not None:
-            self._wal.append({"t": "select", "w": worker, "k": int(k)})
+        if self._storage is not None:
+            self._storage.append({"t": "select", "w": worker, "k": int(k)})
         return self.policy.select(worker, self.answers, k)
 
     def append_answers(
@@ -563,11 +455,11 @@ class DurableSession:
         for row, col, value in items:
             self.schema.validate_cell(row, col)
             self.schema.validate_value(col, value)
-        if self._wal is not None:
+        if self._storage is not None:
             record = {"t": "answers", "w": worker, "a": [list(i) for i in items]}
             if not observe:
                 record["o"] = False
-            self._wal.append(record)
+            self._storage.append(record)
         for row, col, value in items:
             self.answers.add_answer(worker, row, col, value)
         if observe:
@@ -586,23 +478,29 @@ class DurableSession:
                 f"policy {type(self.policy).__name__} does not support "
                 "estimate requests (no final_result method)"
             )
-        if self._wal is not None:
-            self._wal.append({"t": "estimates"})
+        if self._storage is not None:
+            self._storage.append({"t": "estimates"})
         return self.policy.final_result(self.answers)
 
     # -- snapshots ------------------------------------------------------------
 
-    def maybe_snapshot(self) -> Optional[pathlib.Path]:
+    def maybe_snapshot(self) -> Optional[bool]:
         """Cut a snapshot if ``snapshot_every`` answers arrived since the last."""
-        if self._snapshots is None:
+        if self._storage is None:
             return None
         if len(self.answers) - self._answers_at_last_snapshot < self.snapshot_every:
             return None
         return self.snapshot()
 
-    def snapshot(self) -> Optional[pathlib.Path]:
-        """Cut one engine-state snapshot now (no-op when in-memory)."""
-        if self._snapshots is None or self._wal is None:
+    def snapshot(self) -> Optional[bool]:
+        """Cut one engine-state snapshot now (no-op when in-memory).
+
+        The payload carries the serialized model *and* the full answer
+        prefix (format 2), so the snapshot recovers standalone; with
+        ``keep_snapshots`` set, older snapshots are pruned afterwards and
+        WAL storage below the oldest retained snapshot's cover is dropped.
+        """
+        if self._storage is None:
             return None
         state = None
         if hasattr(self.policy, "snapshot_state"):
@@ -618,23 +516,37 @@ class DurableSession:
             "format": FORMAT_VERSION,
             "epoch": self._snapshot_epoch,
             "answers_seen": len(self.answers),
-            "wal_records": self._wal.record_count,
+            "wal_records": self._storage.record_count,
+            "answers": [
+                [answer.worker, int(answer.row), int(answer.col), answer.value]
+                for answer in self.answers
+            ],
             "model": model,
         }
-        path = self._snapshots.save(payload)
+        self._storage.save_snapshot(payload)
         self._snapshot_epoch += 1
         self._answers_at_last_snapshot = len(self.answers)
         self.snapshots_written += 1
-        return path
+        self._collect_garbage()
+        return True
+
+    def _collect_garbage(self) -> None:
+        """Prune snapshots past ``keep_snapshots``, then covered WAL storage."""
+        if self.keep_snapshots is None:
+            return
+        self._storage.prune_snapshots(self.keep_snapshots)
+        cover = self._storage.gc_cover()
+        if cover:
+            self._storage.truncate_before(cover)
 
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
         """Cut a final snapshot, close the log, release policy threads."""
-        if self._wal is not None and not self._wal._closed:
+        if self._storage is not None and not self._storage.closed:
             if len(self.answers) > self._answers_at_last_snapshot:
                 self.snapshot()
-            self._wal.close()
+            self._storage.close()
         close = getattr(self.policy, "close", None)
         if close is not None:
             close()
@@ -650,17 +562,56 @@ class DurableSession:
 
 
 def durable_summary(directory) -> Dict[str, object]:
-    """Cheap summary of a durable directory (used by `/healthz` and tests)."""
+    """Cheap, read-only summary of a durable directory (tests/inspection).
+
+    Works for both backends without mutating anything: JSONL segments are
+    scanned with :func:`read_wal` (no truncation), a SQLite database is
+    opened in place (opening never writes records).
+    """
     directory = pathlib.Path(directory)
-    records, valid_bytes = read_wal(directory / "wal.jsonl")
-    store = SnapshotStore(directory / "snapshots")
-    snapshot = store.latest(max_wal_records=len(records))
+    database = directory / SqliteBackend.FILENAME
+    if database.exists():
+        backend = SqliteBackend(directory)
+        try:
+            records = backend.records()
+            wal_records = backend.record_count
+            wal_segments = 1
+            wal_bytes = database.stat().st_size
+            snapshot = backend.latest_snapshot(max_wal_records=wal_records)
+            snapshots = backend.snapshot_count
+        finally:
+            backend.close()
+    else:
+        segments = []
+        legacy = directory / "wal.jsonl"
+        if legacy.exists():
+            segments.append((0, legacy))
+        if directory.exists():
+            for path in directory.iterdir():
+                if path.name.startswith("wal-") and path.suffix == ".jsonl":
+                    try:
+                        segments.append((int(path.name[4:-6]), path))
+                    except ValueError:
+                        continue
+        segments.sort(key=lambda item: item[0])
+        records = []
+        wal_bytes = 0
+        for _first, path in segments:
+            part, valid_bytes = read_wal(path)
+            records.extend(part)
+            wal_bytes += valid_bytes
+        wal_records = (segments[-1][0] + len(part)) if segments else 0
+        wal_segments = len(segments)
+        store = SnapshotStore(directory / "snapshots")
+        snapshot = store.latest(max_wal_records=wal_records)
+        snapshots = len(store.paths())
     answers = sum(len(r["a"]) for r in records if r.get("t") == "answers")
     return {
-        "wal_records": len(records),
-        "wal_bytes": valid_bytes,
+        "wal_records": wal_records,
+        "wal_bytes": wal_bytes,
+        "wal_segments": wal_segments,
         "answers_logged": answers,
-        "snapshots": len(store.paths()),
+        "snapshots": snapshots,
         "latest_snapshot_epoch": None if snapshot is None else snapshot.epoch,
         "latest_snapshot_answers_seen": (
             None if snapshot is None else snapshot.answers_seen

@@ -608,3 +608,153 @@ class TestServingBenchmarkAndCLI:
         out = capsys.readouterr().out
         assert "listening on http://" in out
         assert "shut down cleanly" in out
+
+
+class TestIngestionValidationAndLimits:
+    """PR-8 fixes: entry-indexed 400s, the body cap, durability stats."""
+
+    def test_answers_validation_names_the_entry(self, client):
+        session_id = client.create_session(_config())["session_id"]
+        cases = [
+            # bool is an int subclass — it must still be rejected
+            ({"worker": "w", "answers": [{"row": True, "col": 0, "value": "red"}]},
+             "answers[0].row"),
+            ({"worker": "w", "answers": [{"row": 0, "col": "0", "value": "red"}]},
+             "answers[0].col"),
+            ({"worker": "w", "answers": [
+                {"row": 0, "col": 0, "value": "red"},
+                {"row": 1.5, "col": 0, "value": "red"},
+            ]}, "answers[1].row"),
+            ({"worker": "w", "answers": [
+                {"row": 0, "col": 0, "value": "red"}, "nope",
+            ]}, "answers[1]"),
+            ({"worker": "w", "answers": [{"col": 0, "value": "red"}]},
+             "answers[0]"),
+        ]
+        for payload, needle in cases:
+            status, body = client.request(
+                "POST", f"/sessions/{session_id}/answers", payload
+            )
+            assert status == 400, (payload, status, body)
+            assert needle in body["error"], (needle, body)
+        client.delete_session(session_id)
+
+    def test_oversized_body_is_413(self):
+        with ServiceServer(max_body_bytes=512) as server:
+            small = ServiceClient(server.address)
+            status, body = small.request(
+                "POST", "/sessions", {"schema": SCHEMA_SPEC, "pad": "x" * 2048}
+            )
+            assert status == 413, (status, body)
+            assert "exceeds" in body["error"], body
+            # A body under the cap still works on the same server.
+            session_id = small.create_session(_config())["session_id"]
+            small.delete_session(session_id)
+
+    def test_truncated_body_is_400_not_a_hang(self):
+        import socket
+
+        with ServiceServer() as server:
+            host, port = server.address.removeprefix("http://").rsplit(":", 1)
+            payload = b'{"worker": "w"'
+            request = (
+                "POST /sessions HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload) + 9}\r\n\r\n"
+            ).encode("ascii") + payload
+            with socket.create_connection((host, int(port)), timeout=10) as sock:
+                sock.sendall(request)
+                sock.shutdown(socket.SHUT_WR)  # body ends short of the header
+                response = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line, response[:200]
+        assert b"Truncated request body" in response, response[:500]
+
+    def test_durable_stats_and_metrics_expose_rotation(self, tmp_path):
+        registry = SessionRegistry(durable_root=tmp_path)
+        with ServiceServer(registry) as server:
+            api = ServiceClient(server.address)
+            spec = (
+                SessionSpec.builder()
+                .model(**FAST_MODEL)
+                .policy(refit_every=1)
+                .durable(
+                    None,
+                    snapshot_every_answers=4,
+                    backend="sqlite",
+                    rotate_every_records=4,
+                    keep_snapshots=2,
+                )
+                .build()
+            )
+            created = api.create_session(
+                {"schema": SCHEMA_SPEC, "durable": True, **spec.to_dict()}
+            )
+            session_id = created["session_id"]
+            _seed(api, session_id)
+            status, stats = api.request("GET", f"/sessions/{session_id}")
+            assert status == 200, (status, stats)
+            assert stats["durability_backend"] == "sqlite"
+            assert stats["wal_segments"] == 1  # sqlite: always one file
+            assert stats["snapshots_retained"] >= 1
+            assert stats["wal_records"] >= 4
+            text = api.get_metrics()
+            assert "repro_service_wal_segments 1" in text
+            assert "repro_service_snapshots_retained" in text
+            api.delete_session(session_id)
+
+    def test_cli_durable_backend_and_body_cap_flags(self, tmp_path):
+        from repro.service.__main__ import build_server
+
+        server = build_server(
+            [
+                "--port", "0",
+                "--durable-root", str(tmp_path),
+                "--durable-backend", "sqlite",
+                "--max-body-bytes", "600",
+            ]
+        ).start()
+        try:
+            api = ServiceClient(server.address)
+            session_id = api.create_session(_config(durable=True))["session_id"]
+            status, stats = api.request("GET", f"/sessions/{session_id}")
+            assert status == 200 and stats["durability_backend"] == "sqlite"
+            assert (tmp_path / session_id / "durable.sqlite3").exists()
+            status, body = api.request(
+                "POST", "/sessions", {"schema": SCHEMA_SPEC, "pad": "x" * 2048}
+            )
+            assert status == 413, (status, body)
+        finally:
+            server.close()
+        # A restart without --durable-backend keeps the manifest's backend.
+        server = build_server(["--port", "0", "--durable-root", str(tmp_path)])
+        try:
+            assert session_id in server.registry.ids()
+            assert (
+                server.registry.get(session_id).durable.backend_name == "sqlite"
+            )
+        finally:
+            server.close()
+
+    def test_explicit_spec_backend_beats_the_cli_default(self, tmp_path):
+        registry = SessionRegistry(durable_root=tmp_path, durable_backend="sqlite")
+        with ServiceServer(registry) as server:
+            api = ServiceClient(server.address)
+            spec = (
+                SessionSpec.builder()
+                .model(**FAST_MODEL)
+                .durable(None, backend="jsonl")
+                .build()
+            )
+            created = api.create_session(
+                {"schema": SCHEMA_SPEC, "durable": True, **spec.to_dict()}
+            )
+            assert created["durability_backend"] == "jsonl"
+            assert (tmp_path / created["session_id"] / "wal.jsonl").exists()
+            api.delete_session(created["session_id"])
