@@ -55,6 +55,13 @@ Recorded fields (see also ``benchmarks/README.md``):
   ``serve_select_p99_ms`` (with ``--serve``) — HTTP serving throughput of
   one scripted session driven against a live ``repro.service`` server on
   an ephemeral port.
+* ``audit_replay_identical`` (with ``--serve``) — a crashed audited
+  session, recovered per storage backend, must re-derive every decision
+  record from the WAL with hashes identical to the logged ledger (hard
+  failure here and in CI; see :mod:`repro.engine.provenance`).
+* ``audit_overhead_ratio`` (with ``--serve``) — relative wall-clock cost
+  of decision recording on the scripted scenario; the CI gate floors it
+  at < 10 %.
 * ``identical_estimates_sharded_async`` — the composed equivalence run's
   *final truth estimates* must also match the seed path's exactly (both end
   with a cold fit over the same final answer set), not just the assignment
@@ -284,7 +291,9 @@ def main(argv=None) -> int:
         )
     if args.serve:
         from repro.service.bench import (
+            measure_audit_overhead,
             measure_serving,
+            verify_audit_replay,
             verify_recovery_identical,
             verify_recovery_rotation,
         )
@@ -325,6 +334,31 @@ def main(argv=None) -> int:
             )
         stats["recovery_rotation_identical"] = bool(rotation_identical)
         stats["recovery_rotation_disk_bounded"] = bool(rotation_bounded)
+        # Decision-audit ledger: crash an audited session per backend,
+        # recover, and require the replayed decision records — ids, hashes,
+        # chain head — to reproduce the pre-crash ledger bit for bit.
+        audit_identical = True
+        for storage_backend in ("jsonl", "sqlite"):
+            audit = verify_audit_replay(
+                mode="sharded_async" if args.async_refit else "plain",
+                backend=storage_backend,
+            )
+            audit_identical &= audit["audit_replay_identical"]
+            stats.update(
+                {
+                    f"audit_replay_identical_{storage_backend}": audit[
+                        "audit_replay_identical"
+                    ],
+                    f"audit_replay_verified_{storage_backend}": audit[
+                        "audit_replay_verified"
+                    ],
+                    f"audit_replay_mismatches_{storage_backend}": audit[
+                        "audit_replay_mismatches"
+                    ],
+                }
+            )
+        stats["audit_replay_identical"] = bool(audit_identical)
+        stats.update(measure_audit_overhead())
         stats.update(
             measure_serving(
                 seed=args.seed,
@@ -404,6 +438,13 @@ def main(argv=None) -> int:
         print(
             "FAIL: rotation + GC left more than keep_snapshots snapshots "
             "or more than 2 WAL segments on disk",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("audit_replay_identical", True):
+        print(
+            "FAIL: decision audit replay did not reproduce the pre-crash "
+            "ledger record for record (see audit_replay_mismatches_*)",
             file=sys.stderr,
         )
         return 1

@@ -13,9 +13,14 @@ committed smoke-tier baseline (``BENCH_engine.json``, recorded with
   shard-worker coordinator vs seed path),
   ``identical_estimates_sharded_async`` (the composed equivalence
   run's *final truth estimates* match the seed path's exactly — the check
-  that would catch a stale scoring-cache hit) or ``recovery_identical``
-  (WAL+snapshot crash recovery replays the session bit for bit) is false,
-  which is a correctness regression, never noise; or
+  that would catch a stale scoring-cache hit), ``recovery_identical``
+  (WAL+snapshot crash recovery replays the session bit for bit) or
+  ``audit_replay_identical`` (replaying the WAL re-derives the recorded
+  decision ledger hash for hash) is false, which is a correctness
+  regression, never noise; or
+* decision recording became too expensive — ``audit_overhead_ratio``
+  (relative wall-clock cost of the audit recorder on the scripted
+  scenario) must stay below 10 %; or
 * baseline and candidate disagree on the best-of-N repeat count
   (``repeats``) — the speedup floors only compare like with like when both
   runs used the same wall-clock estimator; or
@@ -197,6 +202,29 @@ def main(argv=None) -> int:
             "recovery_identical is false: WAL+snapshot recovery no longer "
             "reproduces the uninterrupted session bit for bit"
         )
+    if "audit_replay_identical" not in candidate:
+        failures.append(
+            "candidate has no audit_replay_identical field: the smoke run "
+            "must include the decision-audit check (run_bench.py --serve)"
+        )
+    elif not candidate["audit_replay_identical"]:
+        failures.append(
+            "audit_replay_identical is false: replaying the WAL no longer "
+            "re-derives the recorded decision ledger hash for hash (see "
+            "audit_replay_mismatches_* in the candidate JSON)"
+        )
+    audit_overhead = candidate.get("audit_overhead_ratio")
+    if audit_overhead is None:
+        failures.append(
+            "candidate has no audit_overhead_ratio field: the smoke run "
+            "must measure decision-recording overhead (run_bench.py --serve)"
+        )
+    elif float(audit_overhead) >= 0.10:
+        failures.append(
+            f"audit_overhead_ratio {float(audit_overhead):.3f} is at or "
+            "above the 10% ceiling: decision recording has become too "
+            "expensive for the serving hot path"
+        )
 
     base_repeats = baseline.get("repeats")
     cand_repeats = candidate.get("repeats")
@@ -289,7 +317,9 @@ def main(argv=None) -> int:
         f"{candidate.get('identical_assignments_multiprocess')}, "
         f"identical_estimates_sharded_async="
         f"{candidate.get('identical_estimates_sharded_async')}, "
-        f"recovery_identical={candidate.get('recovery_identical')}"
+        f"recovery_identical={candidate.get('recovery_identical')}, "
+        f"audit_replay_identical={candidate.get('audit_replay_identical')}, "
+        f"audit_overhead_ratio={candidate.get('audit_overhead_ratio')}"
     )
     if failures:
         for failure in failures:

@@ -116,8 +116,19 @@ def build_policy(
     spec: SessionSpec,
     clock=None,
 ) -> AssignmentPolicy:
-    """Assigner + serving wrapper, straight from a spec."""
-    return wrap_policy(build_assigner(schema, spec), spec.serving, clock=clock)
+    """Assigner + serving wrapper, straight from a spec.
+
+    With ``serving.audit`` (the default) a
+    :class:`~repro.engine.provenance.DecisionRecorder` is attached to the
+    **outermost** policy — one audit record per served select, regardless
+    of how many inner policies the wrapper consults.
+    """
+    policy = wrap_policy(build_assigner(schema, spec), spec.serving, clock=clock)
+    if spec.serving.audit:
+        from repro.engine.provenance import DecisionRecorder
+
+        policy.set_recorder(DecisionRecorder())
+    return policy
 
 
 def build_durable_session(

@@ -311,6 +311,14 @@ class ServingSpec:
     (:class:`repro.engine.coordinator.ProcessShardCoordinator`).  The
     effective shard count is ``max(shards, processes)`` so every worker
     owns at least one contiguous shard range.
+
+    ``audit`` (default on) records every select into the session's
+    decision-provenance ledger
+    (:class:`repro.engine.provenance.DecisionRecorder`): lineage, model
+    hash and chained reproducibility hash per decision, queryable over
+    ``GET /sessions/{id}/decisions``.  ``false`` is the escape hatch for
+    latency-critical deployments that would rather lose the audit trail
+    than pay the (benchmarked, <10%) recording overhead.
     """
 
     _SECTION: ClassVar[str] = "serving"
@@ -322,6 +330,7 @@ class ServingSpec:
     refit_tol: Optional[float] = None
     scoring_cache: bool = True
     processes: int = 0
+    audit: bool = True
 
     def __post_init__(self) -> None:
         s = self._SECTION
@@ -342,6 +351,7 @@ class ServingSpec:
              _check_bool(f"{s}.scoring_cache", self.scoring_cache))
         set_(self, "processes",
              _check_int(f"{s}.processes", self.processes, 0))
+        set_(self, "audit", _check_bool(f"{s}.audit", self.audit))
         if self.processes and self.async_refit:
             raise SpecValidationError(
                 f"{s}.async_refit",

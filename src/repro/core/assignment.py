@@ -142,6 +142,20 @@ def merge_top_k_stable(parts: Sequence[np.ndarray], k: int) -> np.ndarray:
     )
 
 
+def _single_shard_lineage(candidates: int, assignment) -> Tuple[dict, ...]:
+    """The one-shard lineage annotation of an unsharded select."""
+    return (
+        {
+            "shard": 0,
+            "candidates": int(candidates),
+            "winners": [
+                [int(row), int(col), float(gain)]
+                for (row, col), gain in zip(assignment.cells, assignment.gains)
+            ],
+        },
+    )
+
+
 @dataclass(frozen=True)
 class BatchAssignment:
     """A batch of cells assigned to one worker, with their predicted gains."""
@@ -183,6 +197,44 @@ class AssignmentPolicy(abc.ABC):
         self.max_answers_per_cell = max_answers_per_cell
         self.incremental = bool(incremental)
         self._state: Optional[SessionState] = None
+        self._recorder = None
+
+    def set_recorder(self, recorder) -> None:
+        """Attach a :class:`~repro.engine.DecisionRecorder` (None detaches).
+
+        Attached to the *outermost* serving policy only — wrappers record
+        the merged decision themselves instead of forwarding the recorder
+        to their inner assigner, so each select yields exactly one record.
+        """
+        self._recorder = recorder
+
+    @property
+    def recorder(self):
+        """The attached decision recorder (None when auditing is off)."""
+        return self._recorder
+
+    def _record_decision(
+        self,
+        assignment: "BatchAssignment",
+        *,
+        answers_seen: int,
+        answers_total: int,
+        candidates: int,
+        result=None,
+        model_hash=None,
+        shards: Sequence[dict] = (),
+    ) -> None:
+        """Chain one audit record if a recorder is attached (else no-op)."""
+        if self._recorder is not None:
+            self._recorder.record(
+                assignment,
+                answers_seen=answers_seen,
+                answers_total=answers_total,
+                candidates=candidates,
+                result=result,
+                model_hash=model_hash,
+                shards=shards,
+            )
 
     @property
     def name(self) -> str:
@@ -349,15 +401,28 @@ class TCrowdAssigner(AssignmentPolicy):
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
         if self.vectorized:
             result = self._ensure_result(answers)
-            return self.rank_candidates(result, worker, answers, candidates, k)
-        calculator = self.prepare_scoring(answers)
-        gains = {
-            cell: calculator.gain(worker, cell[0], cell[1]) for cell in candidates
-        }
-        ranked = sorted(gains.items(), key=lambda item: item[1], reverse=True)[:k]
-        cells = tuple(cell for cell, _gain in ranked)
-        values = tuple(gain for _cell, gain in ranked)
-        return BatchAssignment(worker, cells, values)
+            assignment = self.rank_candidates(result, worker, answers, candidates, k)
+        else:
+            calculator = self.prepare_scoring(answers)
+            gains = {
+                cell: calculator.gain(worker, cell[0], cell[1])
+                for cell in candidates
+            }
+            ranked = sorted(
+                gains.items(), key=lambda item: item[1], reverse=True
+            )[:k]
+            cells = tuple(cell for cell, _gain in ranked)
+            values = tuple(gain for _cell, gain in ranked)
+            assignment = BatchAssignment(worker, cells, values)
+        self._record_decision(
+            assignment,
+            answers_seen=self._answers_at_last_fit,
+            answers_total=len(answers),
+            candidates=len(candidates),
+            result=self._result,
+            shards=_single_shard_lineage(len(candidates), assignment),
+        )
+        return assignment
 
     def rank_candidates(
         self,

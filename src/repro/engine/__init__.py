@@ -22,6 +22,8 @@ __all__ = [
     "ShardedAsyncPolicy",
     "AsyncRefitEngine",
     "AsyncRefitPolicy",
+    "DecisionRecord",
+    "DecisionRecorder",
     "HotPathProfile",
     "ModelSnapshot",
     "ProcessShardCoordinator",
@@ -31,6 +33,7 @@ __all__ = [
 
 _SHARDING_EXPORTS = ("ShardedSessionState", "ShardedAssignmentPolicy")
 _PROFILING_EXPORTS = ("HotPathProfile",)
+_PROVENANCE_EXPORTS = ("DecisionRecord", "DecisionRecorder")
 _REFIT_EXPORTS = (
     "AsyncRefitEngine",
     "AsyncRefitPolicy",
@@ -65,4 +68,8 @@ def __getattr__(name):
         from repro.engine import profiling
 
         return getattr(profiling, name)
+    if name in _PROVENANCE_EXPORTS:
+        from repro.engine import provenance
+
+        return getattr(provenance, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -79,6 +79,7 @@ class ShardedAsyncPolicy(ShardedAssignmentPolicy):
         self.scoring_cache = bool(scoring_cache)
         self._cached_key: Optional[Tuple[int, int]] = None
         self._cached_calculator = None
+        self._served_snapshot = None
         self.scoring_cache_hits = 0
         self.scoring_cache_misses = 0
         self.engine = AsyncRefitEngine(
@@ -126,6 +127,7 @@ class ShardedAsyncPolicy(ShardedAssignmentPolicy):
             )
         with _stage(self.profile, "snapshot_acquire"):
             snapshot = self.engine.snapshot_for(answers)
+        self._served_snapshot = snapshot
         if self.scoring_cache:
             key = (snapshot.epoch, len(answers))
             if key == self._cached_key and self._cached_calculator is not None:
@@ -138,6 +140,11 @@ class ShardedAsyncPolicy(ShardedAssignmentPolicy):
             self._cached_key = (snapshot.epoch, len(answers))
             self._cached_calculator = calculator
         return calculator
+
+    def _provenance_meta(self, answers: AnswerSet):
+        """``(answers_seen, result)`` of the snapshot this select scored with."""
+        snapshot = self._served_snapshot
+        return snapshot.answers_seen, snapshot.result
 
     # -- policy --------------------------------------------------------------
 

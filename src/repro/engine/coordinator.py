@@ -36,7 +36,7 @@ re-raises as the matching :mod:`repro.utils.exceptions` class.
 op           request fields                                      reply fields
 ===========  ==================================================  =========================================
 ``sync``     ``count`` (WAL records to trail up to)              ``epoch``, ``answers_seen``
-``select``   ``worker``, ``k``                                   ``n`` (candidates), ``top`` ``[[gain,row,col],…]``
+``select``   ``worker``, ``k``, ``audit``?, ``decision``?        ``n`` (candidates), ``top`` ``[[gain,row,col],…]``, ``prov``?
 ``final``    —                                                   ``result`` (codec of :func:`serialize_result`)
 ``snapshot``  —                                                  ``state`` (``null`` or result+``answers_seen``)
 ``restore``  ``result``, ``answers_seen``                        ``epoch``, ``answers_seen``
@@ -85,6 +85,7 @@ logs of a failed multi-process run as an artifact.
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
 import pathlib
@@ -114,6 +115,8 @@ from repro.utils.exceptions import (
 )
 
 Cell = Tuple[int, int]
+
+_log = logging.getLogger("repro.engine.coordinator")
 
 #: Where worker processes write their ``worker-<i>.log`` files.
 LOG_DIR_ENV = "REPRO_WORKER_LOG_DIR"
@@ -249,6 +252,10 @@ class ShardGroupScorer:
         #: ``(epoch, answers_seen)`` protocol of ``AsyncRefitEngine``.
         self.epoch = 0
         self._fit_marker = self.assigner.answers_at_last_fit
+        # Model-state hash for audit provenance, cached per fit: the state
+        # only changes when answers_at_last_fit moves.
+        self._hash_marker: Optional[int] = None
+        self._hash_value: Optional[str] = None
 
     # -- the (epoch, answers_seen) snapshot the worker publishes -----------
 
@@ -298,34 +305,64 @@ class ShardGroupScorer:
 
     # -- ops -----------------------------------------------------------------
 
-    def select(self, worker: str, k: int) -> Tuple[int, List[list]]:
+    def select(
+        self, worker: str, k: int, audit: bool = False
+    ) -> Tuple[int, List[list], Optional[dict]]:
         """Local stable top-``k`` over this worker's candidate block.
 
-        Returns ``(candidate_count, [[gain, row, col], ...])``.  The refit
-        (via ``prepare_scoring``) runs unconditionally — the coordinator
-        only sends ``select`` when the *global* candidate list is
-        non-empty, which is exactly when the single-process path would
+        Returns ``(candidate_count, [[gain, row, col], ...], provenance)``.
+        The refit (via ``prepare_scoring``) runs unconditionally — the
+        coordinator only sends ``select`` when the *global* candidate list
+        is non-empty, which is exactly when the single-process path would
         refit, so every worker's chain tracks it even on selects where its
         own block is empty.
+
+        With ``audit`` the reply also carries this worker's provenance
+        block: the ``answers_seen`` marker and model-state hash of the fit
+        that scored the select, plus per-shard candidate counts for the
+        owned shard range.  Every worker holds the bit-identical fit chain,
+        so the coordinator can let worker 0's hash speak for the fleet.
         """
         calculator = self.assigner.prepare_scoring(self.answers)
         self._bump_epoch()
         state = self._state.sync(self.answers)
         cells: List[Cell] = []
+        per_shard: List[int] = []
         for shard in self.shards:
-            cells.extend(state.shard_candidate_cells(shard, worker))
+            shard_cells = state.shard_candidate_cells(shard, worker)
+            per_shard.append(len(shard_cells))
+            cells.extend(shard_cells)
+        provenance = self._provenance(per_shard) if audit else None
         if not cells:
-            return 0, []
+            return 0, [], provenance
         gains = calculator.gains_batch(worker, cells)
         order = top_k_stable(gains, k)
-        return len(cells), [
+        top = [
             [float(gains[i]), int(cells[i][0]), int(cells[i][1])]
             for i in order
         ]
+        return len(cells), top, provenance
+
+    def _provenance(self, per_shard: List[int]) -> dict:
+        """Audit block for the fit that just scored (hash cached per fit)."""
+        from repro.core.codec import model_state_hash
+
+        marker = self.assigner.answers_at_last_fit
+        if marker != self._hash_marker or self._hash_value is None:
+            self._hash_marker = marker
+            self._hash_value = model_state_hash(self.assigner.last_result)
+        return {
+            "answers_seen": int(marker),
+            "model_hash": self._hash_value,
+            "shards": [
+                {"shard": int(shard), "candidates": int(count)}
+                for shard, count in zip(self.shards, per_shard)
+            ],
+        }
 
     def final(self) -> dict:
         """Serialized full-catch-up fit (see ``TCrowdAssigner.final_result``)."""
-        from repro.service.wal import serialize_result
+        from repro.core.codec import serialize_result
 
         result = self.assigner.final_result(self.answers)
         self._bump_epoch()
@@ -333,7 +370,7 @@ class ShardGroupScorer:
 
     def snapshot(self) -> dict:
         """Serialized ``snapshot_state`` (``{"state": None}`` before a fit)."""
-        from repro.service.wal import serialize_result
+        from repro.core.codec import serialize_result
 
         state = self.assigner.snapshot_state()
         if state is None:
@@ -348,7 +385,7 @@ class ShardGroupScorer:
 
     def restore(self, payload: dict) -> Dict[str, int]:
         """Re-seat the warm-start chain from a serialized snapshot."""
-        from repro.service.wal import deserialize_result
+        from repro.core.codec import deserialize_result
 
         result = deserialize_result(payload["result"], self.schema)
         self.assigner.restore_state(result, int(payload["answers_seen"]))
@@ -372,8 +409,20 @@ def handle_request(scorer: ShardGroupScorer, message: dict) -> dict:
     if op == "sync":
         return scorer.sync_to(int(message["count"]))
     if op == "select":
-        count, top = scorer.select(message["worker"], int(message["k"]))
-        return {"n": count, "top": top}
+        count, top, provenance = scorer.select(
+            message["worker"], int(message["k"]),
+            audit=bool(message.get("audit")),
+        )
+        if "decision" in message:
+            _log.debug(
+                "select served: %d candidates",
+                count,
+                extra={"decision_id": int(message["decision"])},
+            )
+        reply = {"n": count, "top": top}
+        if provenance is not None:
+            reply["prov"] = provenance
+        return reply
     if op == "final":
         return scorer.final()
     if op == "snapshot":
@@ -401,6 +450,10 @@ def _serve(scorer: ShardGroupScorer, conn) -> None:  # pragma: no cover - subpro
         try:
             reply = handle_request(scorer, message)
         except Exception as exc:  # marshalled, never fatal to the loop
+            _log.warning(
+                "op %r failed: %s: %s",
+                message.get("op"), type(exc).__name__, exc,
+            )
             reply = {
                 "error": {"type": type(exc).__name__, "message": str(exc)}
             }
@@ -418,6 +471,14 @@ def _worker_main(conn, init_json: str) -> None:  # pragma: no cover - subprocess
         os.dup2(fd, 1)
         os.dup2(fd, 2)
         os.close(fd)
+    from repro.utils.logging import configure_logging
+
+    configure_logging(
+        level=init.get("log_level", "INFO"),
+        json_lines=True,
+        worker_id=int(init["worker_index"]),
+        session_id=init.get("session_label"),
+    )
     try:
         from repro.service.registry import schema_from_dict
 
@@ -438,11 +499,16 @@ def _worker_main(conn, init_json: str) -> None:  # pragma: no cover - subprocess
     conn.send_bytes(json.dumps(
         {"ok": True, **scorer.published_state()}
     ).encode("utf-8"))
+    _log.info(
+        "worker ready: shards [%d, %d), %d WAL records",
+        scorer.shards.start, scorer.shards.stop, scorer.records_applied,
+    )
     try:
         _serve(scorer, conn)
     except (EOFError, OSError):
         pass  # coordinator went away; nothing left to serve
     finally:
+        _log.info("worker shutting down")
         conn.close()
 
 
@@ -781,9 +847,11 @@ class ProcessShardCoordinator(AssignmentPolicy):
                 f"No candidate cells left for worker {worker!r}"
             )
         self._ship(answers, observe=False)
-        replies = self._broadcast(
-            {"op": "select", "worker": worker, "k": int(k)}
-        )
+        message = {"op": "select", "worker": worker, "k": int(k)}
+        if self._recorder is not None:
+            message["audit"] = True
+            message["decision"] = self._recorder.count
+        replies = self._broadcast(message)
         part_gains: List[np.ndarray] = []
         part_cells: List[List[Cell]] = []
         for reply in replies:
@@ -799,7 +867,53 @@ class ProcessShardCoordinator(AssignmentPolicy):
             local = global_index - (stops[part - 1] if part else 0)
             cells.append(part_cells[part][int(local)])
             values.append(float(part_gains[part][int(local)]))
-        return BatchAssignment(worker, tuple(cells), tuple(values))
+        assignment = BatchAssignment(worker, tuple(cells), tuple(values))
+        if self._recorder is not None:
+            self._record_from_replies(state, replies, assignment, len(answers))
+        return assignment
+
+    def _record_from_replies(
+        self,
+        state: ShardedSessionState,
+        replies: List[dict],
+        assignment: BatchAssignment,
+        answers_total: int,
+    ) -> None:
+        """Merge the workers' provenance blocks into one audit record.
+
+        Every worker trails the identical answer WAL through an identical
+        deterministic assigner, so the fit chains — and therefore the
+        model-state hashes — are bit-identical across the fleet; worker 0's
+        block speaks for all of them.  Winner cells are mapped back to
+        their shard through the coordinator's own row partition, and each
+        per-shard lineage entry is annotated with the owning process (the
+        one deployment fact the single-process modes cannot have — it rides
+        outside the hashed core, like all ``shards`` lineage).
+        """
+        winners: List[List[list]] = [[] for _ in range(self.num_shards)]
+        for (row, col), gain in zip(assignment.cells, assignment.gains):
+            winners[state.shard_of_row(row)].append(
+                [int(row), int(col), float(gain)]
+            )
+        shard_blocks = []
+        for handle, reply in zip(self._workers, replies):
+            for block in (reply.get("prov") or {}).get("shards", ()):
+                shard = int(block["shard"])
+                shard_blocks.append({
+                    "shard": shard,
+                    "candidates": int(block["candidates"]),
+                    "winners": winners[shard],
+                    "process": handle.index,
+                })
+        head = replies[0].get("prov") or {}
+        self._record_decision(
+            assignment,
+            answers_seen=int(head.get("answers_seen", -1)),
+            answers_total=answers_total,
+            candidates=sum(int(reply["n"]) for reply in replies),
+            model_hash=head.get("model_hash"),
+            shards=tuple(shard_blocks),
+        )
 
     def observe(self, answers: AnswerSet) -> None:
         """Ship the new answers with the observe flag (workers refit on cadence)."""
@@ -812,7 +926,7 @@ class ProcessShardCoordinator(AssignmentPolicy):
         in the warm-start chain — all workers must record it or their
         chains would diverge from the single-process replay.
         """
-        from repro.service.wal import deserialize_result
+        from repro.core.codec import deserialize_result
 
         self._ship(answers, observe=False)
         replies = self._broadcast({"op": "final"})
@@ -823,7 +937,7 @@ class ProcessShardCoordinator(AssignmentPolicy):
 
     def snapshot_state(self):
         """Worker 0's ``(result, answers_seen)`` — identical on every worker."""
-        from repro.service.wal import deserialize_result
+        from repro.core.codec import deserialize_result
 
         reply = self._request(self._workers[0], {"op": "snapshot"})
         state = reply["state"]
@@ -835,7 +949,7 @@ class ProcessShardCoordinator(AssignmentPolicy):
 
     def restore_state(self, result, answers_seen: int) -> None:
         """Re-seat every worker's warm-start chain from a durable snapshot."""
-        from repro.service.wal import serialize_result
+        from repro.core.codec import serialize_result
 
         self._last_result = result
         self._broadcast({

@@ -1,0 +1,361 @@
+"""Decision provenance: per-select lineage records and a chained audit hash.
+
+The equivalence benchmarks prove every serving mode replays the paper
+path's assignment sequence bit for bit — but only in CI.  This module
+turns that guarantee into a production feature: a
+:class:`DecisionRecorder` attached to a serving policy captures, for every
+``select``, a canonical audit record answering "why was worker *w* given
+task *t*?" after the fact:
+
+* a monotonically numbered ``decision_id``;
+* the serving model state behind the decision — ``(epoch, answers_seen)``
+  plus a canonical exact-float hash of the full
+  :class:`~repro.core.inference.InferenceResult` (the WAL codec
+  discipline, see :mod:`repro.core.codec`), and the staleness at decision
+  time (``answers_total - answers_seen``);
+* candidate-set provenance — the worker's open candidate-pool size and,
+  as unhashed annotations, the per-shard candidate counts and each
+  shard's contributed winners with their gains;
+* a session-level **chained reproducibility hash**: each record's
+  ``record_hash`` covers the previous record's hash ledger-style, so the
+  chain head alone pins the whole decision history of a session.
+
+Two hashing scopes, deliberately:
+
+* ``record_hash`` covers the *core* payload — the decision and the model
+  state that produced it.  Those fields are identical across every
+  serving mode (plain / sharded / async at ``max_stale_answers=0`` /
+  composed / multi-process), which is exactly the equivalence guarantee;
+  the golden-trace audit matrix asserts the chain head matches across
+  all of them.
+* The ``shards`` annotations describe *how* the candidates were merged —
+  deployment topology, which legitimately varies between a single-shard
+  and an 8-shard serving of the same session — so they ride the record
+  but stay outside the hash.
+
+``epoch`` here is the audit epoch: the index of the distinct model state
+serving the decision stream (it increments whenever ``answers_seen``
+changes between records).  It is derived from the record stream itself,
+not read from any engine's internal counter, so it cannot drift between
+serving modes that take identical decisions.
+
+**Replay verification.**  During WAL recovery the recorder is put in
+replay mode: each replayed ``select`` *recomputes* its record (without
+committing it), and the logged ``decision`` record that follows is
+compared hash-for-hash (``replay_verified`` / ``replay_mismatches``)
+before being restored verbatim.  Every recovery therefore re-proves the
+audit chain over the replayed suffix — the property
+``benchmarks/run_bench.py --serve`` records as ``audit_replay_identical``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.codec import model_state_hash, payload_hash
+
+Cell = Tuple[int, int]
+
+#: ``prev_hash`` of the first record in a session's chain.
+GENESIS_HASH = "0" * 64
+
+#: Bump when the audit record layout changes incompatibly.
+AUDIT_FORMAT = 1
+
+#: Default / maximum page size of the decisions API.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
+
+#: The core-payload fields covered by ``record_hash`` (sorted-key
+#: canonical JSON over exactly these; ``shards`` annotations excluded).
+CORE_FIELDS = (
+    "decision_id",
+    "worker",
+    "k",
+    "cells",
+    "gains",
+    "epoch",
+    "answers_seen",
+    "answers_total",
+    "staleness",
+    "candidates",
+    "model_hash",
+    "prev_hash",
+)
+
+
+def record_core(payload: dict) -> dict:
+    """The hash-covered core of a record dict (drops ``record_hash``/``shards``).
+
+    Also the client-side recompute helper: an external auditor rebuilds
+    ``record_hash`` as ``payload_hash(record_core(fetched_record))`` with
+    no repro imports beyond this function's definition.
+    """
+    return {name: payload[name] for name in CORE_FIELDS}
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One select's canonical audit record (see the module docs)."""
+
+    decision_id: int
+    worker: str
+    k: int
+    cells: Tuple[Cell, ...]
+    gains: Tuple[float, ...]
+    epoch: int
+    answers_seen: int
+    answers_total: int
+    staleness: int
+    candidates: int
+    model_hash: str
+    prev_hash: str
+    record_hash: str
+    shards: Tuple[dict, ...] = field(default=(), compare=False)
+
+    def core_payload(self) -> dict:
+        """The JSON-safe payload ``record_hash`` is computed over."""
+        return {
+            "decision_id": int(self.decision_id),
+            "worker": self.worker,
+            "k": int(self.k),
+            "cells": [[int(row), int(col)] for row, col in self.cells],
+            "gains": [float(gain) for gain in self.gains],
+            "epoch": int(self.epoch),
+            "answers_seen": int(self.answers_seen),
+            "answers_total": int(self.answers_total),
+            "staleness": int(self.staleness),
+            "candidates": int(self.candidates),
+            "model_hash": self.model_hash,
+            "prev_hash": self.prev_hash,
+        }
+
+    def to_dict(self) -> dict:
+        payload = self.core_payload()
+        payload["record_hash"] = self.record_hash
+        payload["shards"] = [dict(block) for block in self.shards]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecisionRecord":
+        return cls(
+            decision_id=int(payload["decision_id"]),
+            worker=str(payload["worker"]),
+            k=int(payload["k"]),
+            cells=tuple(
+                (int(row), int(col)) for row, col in payload["cells"]
+            ),
+            gains=tuple(float(gain) for gain in payload["gains"]),
+            epoch=int(payload["epoch"]),
+            answers_seen=int(payload["answers_seen"]),
+            answers_total=int(payload["answers_total"]),
+            staleness=int(payload["staleness"]),
+            candidates=int(payload["candidates"]),
+            model_hash=str(payload["model_hash"]),
+            prev_hash=str(payload["prev_hash"]),
+            record_hash=str(payload["record_hash"]),
+            shards=tuple(dict(block) for block in payload.get("shards", [])),
+        )
+
+
+class DecisionRecorder:
+    """Builds and chains :class:`DecisionRecord`\\ s for one session.
+
+    Thread-safe; one instance per session, attached to the *outermost*
+    serving policy via ``set_recorder`` (inner wrappers never record, so
+    each select yields exactly one record).  ``sink`` — when set by a
+    durable session — receives every live record for WAL persistence.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[DecisionRecord] = []
+        self._head = GENESIS_HASH
+        self._epoch = -1
+        self._last_answers_seen: Optional[int] = None
+        self._hash_cache: Tuple[Optional[int], Optional[str]] = (None, None)
+        self._replaying = False
+        self._pending: Optional[DecisionRecord] = None
+        self.sink: Optional[Callable[[DecisionRecord], None]] = None
+        self.replay_verified = 0
+        self.replay_mismatches = 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Records chained so far."""
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def chain_head(self) -> str:
+        """Hex digest pinning the whole decision history (genesis if empty)."""
+        with self._lock:
+            return self._head
+
+    def get(self, decision_id: int) -> DecisionRecord:
+        """Record ``decision_id`` (raises :class:`KeyError` when absent)."""
+        with self._lock:
+            if 0 <= decision_id < len(self._records):
+                return self._records[decision_id]
+        raise KeyError(f"no decision record {decision_id}")
+
+    def page(
+        self, since: int = 0, limit: int = DEFAULT_PAGE_LIMIT
+    ) -> List[DecisionRecord]:
+        """Up to ``limit`` records with ``decision_id >= since``."""
+        since = max(0, int(since))
+        limit = max(0, min(int(limit), MAX_PAGE_LIMIT))
+        with self._lock:
+            return list(self._records[since:since + limit])
+
+    # -- recording ------------------------------------------------------------
+
+    def model_hash_for(self, answers_seen: int, result) -> str:
+        """Canonical model-state hash, cached per ``answers_seen``.
+
+        Within one session a given ``answers_seen`` maps to exactly one
+        model state (the warm-start chain is deterministic), so the hash
+        only needs recomputing when the serving state advances.
+        """
+        cached_seen, cached_hash = self._hash_cache
+        if cached_seen == answers_seen and cached_hash is not None:
+            return cached_hash
+        digest = model_state_hash(result)
+        self._hash_cache = (answers_seen, digest)
+        return digest
+
+    def record(
+        self,
+        assignment,
+        *,
+        answers_seen: int,
+        answers_total: int,
+        candidates: int,
+        result=None,
+        model_hash: Optional[str] = None,
+        shards: Sequence[dict] = (),
+    ) -> Optional[DecisionRecord]:
+        """Chain one select's record (``assignment`` is a BatchAssignment).
+
+        Pass either the serving ``result`` (hashed here, cached per
+        ``answers_seen``) or a precomputed ``model_hash`` (the
+        multi-process coordinator, whose workers hash their own state).
+        In replay mode the record is computed but *not* committed — it is
+        held for comparison against the logged record that follows.
+        """
+        with self._lock:
+            if model_hash is None:
+                model_hash = self.model_hash_for(int(answers_seen), result)
+            epoch = self._epoch
+            if self._last_answers_seen != int(answers_seen):
+                epoch += 1
+            core = {
+                "decision_id": len(self._records),
+                "worker": assignment.worker,
+                "k": len(assignment.cells),
+                "cells": [[int(row), int(col)] for row, col in assignment.cells],
+                "gains": [float(gain) for gain in assignment.gains],
+                "epoch": int(epoch),
+                "answers_seen": int(answers_seen),
+                "answers_total": int(answers_total),
+                "staleness": int(answers_total) - int(answers_seen),
+                "candidates": int(candidates),
+                "model_hash": model_hash,
+                "prev_hash": self._head,
+            }
+            record = DecisionRecord.from_dict(
+                {
+                    **core,
+                    "record_hash": payload_hash(core),
+                    "shards": list(shards),
+                }
+            )
+            if self._replaying:
+                self._pending = record
+                return record
+            self._commit(record)
+        if self.sink is not None:
+            self.sink(record)
+        return record
+
+    def _commit(self, record: DecisionRecord) -> None:
+        self._records.append(record)
+        self._head = record.record_hash
+        self._epoch = record.epoch
+        self._last_answers_seen = record.answers_seen
+
+    # -- WAL replay -----------------------------------------------------------
+
+    def begin_replay(self) -> None:
+        """Enter replay mode: recomputed records are held, not committed."""
+        with self._lock:
+            self._replaying = True
+            self._pending = None
+
+    def end_replay(self) -> None:
+        """Leave replay mode, dropping any uncommitted recompute.
+
+        A dangling recompute (a replayed select whose logged decision
+        record never made it to disk) is discarded: the decision never
+        committed, and the recovery driver's re-issued select will record
+        it fresh under the same id.
+        """
+        with self._lock:
+            self._replaying = False
+            self._pending = None
+
+    def apply_logged(self, payload: dict) -> None:
+        """Restore one logged decision record, verifying the recompute.
+
+        Called by the durable session for every replayed ``decision`` WAL
+        record.  If the preceding replayed select recomputed a record for
+        the same id, the two hashes are compared (``replay_verified`` /
+        ``replay_mismatches``); chain-continuity breaks (wrong id or
+        ``prev_hash``) also count as mismatches.  The *logged* record is
+        then committed verbatim, so a mismatch is visible, not fatal.
+        """
+        record = DecisionRecord.from_dict(payload)
+        with self._lock:
+            pending, self._pending = self._pending, None
+            if pending is not None and pending.decision_id == record.decision_id:
+                if pending.record_hash == record.record_hash:
+                    self.replay_verified += 1
+                else:
+                    self.replay_mismatches += 1
+            if (
+                record.decision_id != len(self._records)
+                or record.prev_hash != self._head
+            ):
+                self.replay_mismatches += 1
+            self._commit(record)
+
+    # -- durability -----------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-safe audit state for snapshot embedding (full history)."""
+        with self._lock:
+            return {
+                "format": AUDIT_FORMAT,
+                "chain_head": self._head,
+                "epoch": self._epoch,
+                "answers_seen": self._last_answers_seen,
+                "records": [record.to_dict() for record in self._records],
+            }
+
+    def restore(self, state: dict) -> None:
+        """Re-seat the audit state captured by :meth:`state`."""
+        with self._lock:
+            self._records = [
+                DecisionRecord.from_dict(payload)
+                for payload in state.get("records", [])
+            ]
+            self._head = str(state.get("chain_head", GENESIS_HASH))
+            self._epoch = int(state.get("epoch", -1))
+            seen = state.get("answers_seen")
+            self._last_answers_seen = None if seen is None else int(seen)
+            self._hash_cache = (None, None)
+            self._pending = None

@@ -50,6 +50,7 @@ from repro.core.assignment import (
     AssignmentPolicy,
     BatchAssignment,
     TCrowdAssigner,
+    _single_shard_lineage,
     refit_model,
 )
 from repro.core.inference import InferenceResult
@@ -549,8 +550,20 @@ class AsyncRefitPolicy(AssignmentPolicy):
         if not candidates:
             raise AssignmentError(f"No candidate cells left for worker {worker!r}")
         with _stage(self.profile, "snapshot_acquire"):
-            result = self.engine.result_for(answers)
-        return self.inner.rank_candidates(result, worker, answers, candidates, k)
+            snapshot = self.engine.snapshot_for(answers)
+        assignment = self.inner.rank_candidates(
+            snapshot.result, worker, answers, candidates, k
+        )
+        if self._recorder is not None:
+            self._record_decision(
+                assignment,
+                answers_seen=snapshot.answers_seen,
+                answers_total=len(answers),
+                candidates=len(candidates),
+                result=snapshot.result,
+                shards=_single_shard_lineage(len(candidates), assignment),
+            )
+        return assignment
 
     def observe(self, answers: AnswerSet) -> None:
         """Request a background refit for the newly arrived answers."""

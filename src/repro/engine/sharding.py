@@ -248,6 +248,31 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
         with _stage(self.profile, "calculator_build"):
             return self.inner.prepare_scoring(answers)
 
+    def _provenance_meta(self, answers: AnswerSet):
+        """``(answers_seen, result)`` of the state this select scored with.
+
+        Overridden by the composed serving mode alongside
+        :meth:`_scoring_calculator`, so the audit record always describes
+        the model state the gains actually came from.
+        """
+        return self.inner.answers_at_last_fit, self.inner.last_result
+
+    def _shard_lineage(self, state, shard_cells, assignment) -> Tuple[dict, ...]:
+        """Per-shard lineage annotations: pool sizes + contributed winners."""
+        winners: List[List[List[float]]] = [[] for _ in range(state.num_shards)]
+        for (row, col), gain in zip(assignment.cells, assignment.gains):
+            winners[state.shard_of_row(row)].append(
+                [int(row), int(col), float(gain)]
+            )
+        return tuple(
+            {
+                "shard": shard,
+                "candidates": len(shard_cells[shard]),
+                "winners": winners[shard],
+            }
+            for shard in range(state.num_shards)
+        )
+
     def select(self, worker: str, answers: AnswerSet, k: int = 1) -> BatchAssignment:
         """Assign the top-``k`` cells by gain, scored over the shard partition.
 
@@ -283,32 +308,43 @@ class ShardedAssignmentPolicy(AssignmentPolicy):
             picks = order.tolist()
             cells = tuple(stacked[index] for index in picks)
             values = tuple(float(gains[index]) for index in picks)
-            return BatchAssignment(worker, cells, values)
+            assignment = BatchAssignment(worker, cells, values)
+        else:
+            def score(cells: List[Cell]) -> np.ndarray:
+                if not cells:
+                    return np.zeros(0, dtype=float)
+                return calculator.gains_batch(worker, cells)
 
-        def score(cells: List[Cell]) -> np.ndarray:
-            if not cells:
-                return np.zeros(0, dtype=float)
-            return calculator.gains_batch(worker, cells)
-
-        calculator.prewarm()
-        with _stage(profile, "gains_batch"):
-            shard_gains = list(self._executor.map(score, shard_cells))
-        with _stage(profile, "top_k_merge"):
-            order = merge_top_k_stable(shard_gains, k)
-        # Map each merged global index back to its (shard, local) slot via
-        # the per-shard offsets — only the k winners are touched, the
-        # concatenated candidate list is never materialised.
-        offsets = np.cumsum([0] + [len(cells) for cells in shard_cells])
-        owners = np.searchsorted(offsets, order, side="right") - 1
-        cells = tuple(
-            shard_cells[shard][index - offsets[shard]]
-            for shard, index in zip(owners.tolist(), order.tolist())
-        )
-        values = tuple(
-            float(shard_gains[shard][index - offsets[shard]])
-            for shard, index in zip(owners.tolist(), order.tolist())
-        )
-        return BatchAssignment(worker, cells, values)
+            calculator.prewarm()
+            with _stage(profile, "gains_batch"):
+                shard_gains = list(self._executor.map(score, shard_cells))
+            with _stage(profile, "top_k_merge"):
+                order = merge_top_k_stable(shard_gains, k)
+            # Map each merged global index back to its (shard, local) slot
+            # via the per-shard offsets — only the k winners are touched,
+            # the concatenated candidate list is never materialised.
+            offsets = np.cumsum([0] + [len(cells) for cells in shard_cells])
+            owners = np.searchsorted(offsets, order, side="right") - 1
+            cells = tuple(
+                shard_cells[shard][index - offsets[shard]]
+                for shard, index in zip(owners.tolist(), order.tolist())
+            )
+            values = tuple(
+                float(shard_gains[shard][index - offsets[shard]])
+                for shard, index in zip(owners.tolist(), order.tolist())
+            )
+            assignment = BatchAssignment(worker, cells, values)
+        if self._recorder is not None:
+            answers_seen, result = self._provenance_meta(answers)
+            self._record_decision(
+                assignment,
+                answers_seen=answers_seen,
+                answers_total=len(answers),
+                candidates=sum(len(cells) for cells in shard_cells),
+                result=result,
+                shards=self._shard_lineage(state, shard_cells, assignment),
+            )
+        return assignment
 
     def observe(self, answers: AnswerSet) -> None:
         """Forward the refit trigger to the wrapped assigner."""

@@ -19,6 +19,7 @@ import sys
 from repro.config.spec import DURABILITY_BACKENDS
 from repro.service.app import DEFAULT_MAX_BODY_BYTES, ServiceServer
 from repro.service.registry import SessionRegistry
+from repro.utils.logging import configure_logging
 
 
 def build_server(argv=None) -> ServiceServer:
@@ -46,7 +47,18 @@ def build_server(argv=None) -> ServiceServer:
         "--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES,
         help="request-body size cap; larger uploads are rejected with 413",
     )
+    parser.add_argument(
+        "--log-level", default="INFO",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="stdlib logging level for the repro logger tree",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON object per log line (with session_id / "
+        "worker_id / decision_id correlation fields when available)",
+    )
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     registry = SessionRegistry(
         durable_root=args.durable_root, durable_backend=args.durable_backend
     )

@@ -18,6 +18,8 @@ POST      ``/sessions/{id}/answers``           ingest collected answers
 GET       ``/sessions/{id}/estimates``         current truth estimates
 GET       ``/sessions/{id}/workers/{worker}``  per-worker quality
 GET       ``/sessions/{id}/config``            canonical v1 session spec
+GET       ``/sessions/{id}/decisions``         paginated audit records (``?since=&limit=``)
+GET       ``/sessions/{id}/decisions/{n}``     one decision's audit record
 ========  ===================================  =================================
 
 ``POST /sessions`` takes a version-1 :class:`~repro.config.SessionSpec`
@@ -75,12 +77,21 @@ DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _SESSION_PATH = re.compile(
     r"^/sessions/(?P<sid>[A-Za-z0-9_.-]+)"
-    r"(?:/(?P<verb>tasks|answers|estimates|workers|config))?"
+    r"(?:/(?P<verb>tasks|answers|estimates|workers|config|decisions))?"
     r"(?:/(?P<arg>[^/]+))?$"
 )
 
 #: Window of recent select latencies the metrics endpoint summarises.
 _LATENCY_WINDOW = 1024
+
+#: The closed set of endpoint labels ``/metrics`` may emit.  Anything else
+#: — unknown paths, fuzzed URLs, bad session verbs — buckets under
+#: ``other`` so request counters keep bounded label cardinality no matter
+#: what clients throw at the server.
+_KNOWN_ENDPOINTS = frozenset({
+    "healthz", "metrics", "sessions", "session", "tasks", "answers",
+    "estimates", "workers", "config", "decisions",
+})
 
 
 class _HTTPError(Exception):
@@ -118,6 +129,8 @@ class ServiceMetrics:
         self.hotpath = HotPathProfile()
 
     def observe_request(self, endpoint: str, status: int) -> None:
+        if endpoint not in _KNOWN_ENDPOINTS:
+            endpoint = "other"
         with self._lock:
             self.requests[endpoint] += 1
             if status >= 400:
@@ -175,9 +188,19 @@ class ServiceMetrics:
             ]
         wal_segments = 0
         snapshots_retained = 0
+        decisions_total = 0
+        chain_lines = []
         for session in registry.sessions():
             wal_segments += session.durable.wal_segments
             snapshots_retained += session.durable.snapshots_retained
+            recorder = session.durable.recorder
+            if recorder is not None:
+                decisions_total += recorder.count
+                chain_lines.append(
+                    f'repro_decision_chain_hash{{'
+                    f'session_id="{session.session_id}",'
+                    f'chain_head="{recorder.chain_head}"}} 1'
+                )
         lines += [
             "# HELP repro_service_wal_segments On-disk WAL segments across "
             "durable sessions.",
@@ -187,6 +210,14 @@ class ServiceMetrics:
             "durable sessions (after GC).",
             "# TYPE repro_service_snapshots_retained gauge",
             f"repro_service_snapshots_retained {snapshots_retained}",
+            "# HELP repro_decisions_total Audit decision records across "
+            "live sessions.",
+            "# TYPE repro_decisions_total counter",
+            f"repro_decisions_total {decisions_total}",
+            "# HELP repro_decision_chain_hash Decision-chain head per session "
+            "(info-style metric; the value is always 1).",
+            "# TYPE repro_decision_chain_hash gauge",
+            *chain_lines,
         ]
         # The hot-path profile carries its own lock; render it outside ours.
         lines.extend(self.hotpath.render_prometheus())
@@ -299,6 +330,17 @@ class ServiceApp:
             if not arg:
                 raise _HTTPError(404, "Worker id missing from path")
             return "workers", 200, session.worker_info(arg)
+        if verb == "decisions":
+            self._require(method, "GET")
+            if arg is not None:
+                try:
+                    decision_id = int(arg)
+                except ValueError:
+                    raise _HTTPError(
+                        400, f"Decision id must be an integer, got {arg!r}"
+                    )
+                return "decisions", 200, session.decision(decision_id)
+            return "decisions", 200, self._decisions(session, environ)
         raise _HTTPError(404, f"Unknown path {path!r}")
 
     # -- handlers ------------------------------------------------------------
@@ -323,6 +365,32 @@ class ServiceApp:
             "cells": [[int(row), int(col)] for row, col in assignment.cells],
             "gains": [float(gain) for gain in assignment.gains],
         }
+
+    def _decisions(self, session, environ) -> Dict[str, object]:
+        """Paginated audit records: ``GET .../decisions?since=&limit=``."""
+        from repro.engine.provenance import DEFAULT_PAGE_LIMIT, MAX_PAGE_LIMIT
+
+        query = parse_qs(environ.get("QUERY_STRING", ""))
+        values = {}
+        for name, default in (
+            ("since", 0), ("limit", DEFAULT_PAGE_LIMIT),
+        ):
+            raw = (query.get(name) or [None])[0]
+            if raw is None:
+                values[name] = default
+                continue
+            try:
+                values[name] = int(raw)
+            except ValueError:
+                raise _HTTPError(400, f"{name!r} must be an integer, got {raw!r}")
+            if values[name] < 0:
+                raise _HTTPError(400, f"{name!r} must be >= 0, got {values[name]}")
+        if values["limit"] > MAX_PAGE_LIMIT:
+            raise _HTTPError(
+                400,
+                f"'limit' must be <= {MAX_PAGE_LIMIT}, got {values['limit']}",
+            )
+        return session.decisions(since=values["since"], limit=values["limit"])
 
     def _answers(self, session, environ) -> Dict[str, object]:
         body = self._read_json(environ)

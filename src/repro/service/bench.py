@@ -77,19 +77,19 @@ def _serving_config(mode: str, scenario: dict) -> dict:
     raise ValueError(f"Unknown serving mode {mode!r}; expected {SERVING_MODES}")
 
 
-def scripted_spec(mode: str, scenario: dict) -> SessionSpec:
+def scripted_spec(mode: str, scenario: dict, audit: bool = True) -> SessionSpec:
     """The :class:`~repro.config.SessionSpec` of one scripted serving mode."""
     return (
         SessionSpec.builder()
         .model(**scenario["model_kwargs"])
         .policy(refit_every=1, warm_start=True)
-        .serving(**_serving_config(mode, scenario))
+        .serving(audit=audit, **_serving_config(mode, scenario))
         .build()
     )
 
 
-def _build_scripted_policy(schema, mode: str, scenario: dict):
-    return build_policy(schema, scripted_spec(mode, scenario))
+def _build_scripted_policy(schema, mode: str, scenario: dict, audit: bool = True):
+    return build_policy(schema, scripted_spec(mode, scenario, audit=audit))
 
 
 def _extra_answers(schema, scenario: dict) -> int:
@@ -110,6 +110,7 @@ def run_scripted_session(
     backend: str = "jsonl",
     rotate_every_records: Optional[int] = None,
     keep_snapshots: Optional[int] = None,
+    audit: bool = True,
 ) -> Dict[str, object]:
     """Run the scripted scenario through a :class:`DurableSession`.
 
@@ -124,7 +125,7 @@ def run_scripted_session(
     pool = dataset.worker_pool
     worker_ids, activities = pool.worker_ids(), pool.activities()
     rng = np.random.default_rng(scenario["seed"])
-    policy = _build_scripted_policy(schema, mode, scenario)
+    policy = _build_scripted_policy(schema, mode, scenario, audit=audit)
     session = DurableSession(
         schema,
         policy,
@@ -597,6 +598,110 @@ def verify_recovery_rotation(
     if owns_dir:
         shutil.rmtree(directory, ignore_errors=True)
     return summary
+
+
+# -- decision-audit verification -----------------------------------------------
+
+
+def verify_audit_replay(
+    mode: str = "plain",
+    backend: str = "jsonl",
+    directory=None,
+    crash_after_steps: int = 3,
+    snapshot_every: int = 25,
+    scenario: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Crash an audited session, recover it, and re-verify every decision.
+
+    Recovery replays the WAL through the live policy: each logged
+    ``select`` recomputes its decision record from scratch and the logged
+    ``decision`` record's hash must match bit for bit (the recorder counts
+    ``replay_verified`` / ``replay_mismatches``).  On top of the per-record
+    hash check, the recovered audit ledger — ids, chained hashes, lineage —
+    must equal the pre-crash recorder state exactly.  The verdict lands in
+    ``BENCH_engine.json`` as ``audit_replay_identical`` and is hard-failed
+    by both the benchmark driver and the CI perf gate.
+    """
+    import pathlib
+    import shutil
+    import tempfile
+
+    scenario = {**DEFAULT_SCENARIO, **(scenario or {})}
+    owns_dir = directory is None
+    if owns_dir:
+        directory = tempfile.mkdtemp(prefix="repro-audit-")
+    directory = pathlib.Path(directory)
+    crashed = run_scripted_session(
+        mode,
+        directory=directory,
+        crash_after_steps=crash_after_steps,
+        snapshot_every=snapshot_every,
+        scenario=scenario,
+        backend=backend,
+    )
+    before = crashed["session"].recorder
+    before_state = before.state()
+    before_head = before.chain_head
+    _abandon_session(crashed["session"])
+
+    dataset = load_celebrity(seed=scenario["seed"], num_rows=scenario["num_rows"])
+    policy = _build_scripted_policy(dataset.schema, mode, scenario)
+    recovered = DurableSession(
+        dataset.schema,
+        policy,
+        directory=directory,
+        snapshot_every=snapshot_every,
+        backend=backend,
+    )
+    recorder = recovered.recorder
+    identical = (
+        recorder.state() == before_state
+        and recorder.chain_head == before_head
+        and recorder.replay_mismatches == 0
+    )
+    summary = {
+        "audit_mode": mode,
+        "audit_backend": backend,
+        "audit_records": int(before.count),
+        "audit_replay_verified": int(recorder.replay_verified),
+        "audit_replay_mismatches": int(recorder.replay_mismatches),
+        "audit_chain_head": recorder.chain_head,
+        "audit_replay_identical": bool(identical),
+    }
+    _abandon_session(recovered)
+    if owns_dir:
+        shutil.rmtree(directory, ignore_errors=True)
+    return summary
+
+
+def measure_audit_overhead(
+    mode: str = "plain",
+    repeats: int = 5,
+    scenario: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Wall-clock cost of decision recording on the scripted scenario.
+
+    Runs the in-memory scripted session with ``serving.audit`` on and off
+    (``repeats`` interleaved passes each, best-of to shed scheduler noise)
+    and reports the relative overhead as ``audit_overhead_ratio``.  The CI
+    perf gate floors the ratio at < 10 %; ``serving.audit = false`` is the
+    operator escape hatch if a deployment cannot afford even that.
+    """
+    timings = {True: [], False: []}
+    for _ in range(max(1, int(repeats))):
+        for audit in (True, False):
+            start = time.perf_counter()
+            run_scripted_session(mode, scenario=scenario, audit=audit)
+            timings[audit].append(time.perf_counter() - start)
+    base = min(timings[False])
+    audited = min(timings[True])
+    ratio = (audited - base) / base if base > 0 else 0.0
+    return {
+        "audit_overhead_mode": mode,
+        "audit_seconds": float(audited),
+        "audit_baseline_seconds": float(base),
+        "audit_overhead_ratio": max(0.0, float(ratio)),
+    }
 
 
 # -- HTTP client ---------------------------------------------------------------

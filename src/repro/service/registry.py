@@ -30,8 +30,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import pathlib
-import sys
 import threading
 import uuid
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -44,8 +44,11 @@ from repro.config import (
 from repro.config.factory import build_durable_session
 from repro.config.factory import build_policy as _build_spec_policy
 from repro.core.schema import Column, TableSchema
+from repro.engine.provenance import DEFAULT_PAGE_LIMIT
 from repro.service.wal import DurableSession
 from repro.utils.exceptions import ConfigurationError, ReproError
+
+_log = logging.getLogger("repro.service.registry")
 
 #: Version of the durable ``session.json`` manifest.  Format 2 pins the
 #: canonical v1 spec under ``"spec"``; format-1 manifests (the PR-4 legacy
@@ -271,10 +274,64 @@ class ServedSession:
                 "variance": variance,
             }
 
+    # -- decisions API (audit layer) ------------------------------------------
+
+    def _recorder(self):
+        recorder = self.durable.recorder
+        if recorder is None:
+            raise ConfigurationError(
+                "this session was created with serving.audit=false; "
+                "no decision records exist"
+            )
+        return recorder
+
+    def decision(self, decision_id: int) -> Dict[str, object]:
+        """One audit record (``GET /sessions/{id}/decisions/{n}``).
+
+        Raises :class:`KeyError` for an unknown decision id (the API's
+        404) and :class:`ConfigurationError` when auditing is off.
+        """
+        with self.lock:
+            record = self._recorder().get(int(decision_id))
+        return {"session_id": self.session_id, **record.to_dict()}
+
+    def decisions(
+        self, since: int = 0, limit: int = DEFAULT_PAGE_LIMIT
+    ) -> Dict[str, object]:
+        """A page of audit records (``GET /sessions/{id}/decisions``)."""
+        with self.lock:
+            recorder = self._recorder()
+            records = recorder.page(since, limit)
+            total = recorder.count
+            head = recorder.chain_head
+        next_since = records[-1].decision_id + 1 if records else int(since)
+        return {
+            "session_id": self.session_id,
+            "total": total,
+            "chain_head": head,
+            "next_since": next_since if next_since < total else None,
+            "decisions": [record.to_dict() for record in records],
+        }
+
     def stats(self) -> Dict[str, object]:
         """Status summary (the session resource representation)."""
         with self.lock:
             answers = self.durable.answers
+            recorder = self.durable.recorder
+            audit = {
+                "decisions_recorded": (
+                    None if recorder is None else recorder.count
+                ),
+                "decision_chain_hash": (
+                    None if recorder is None else recorder.chain_head
+                ),
+                "audit_replay_verified": (
+                    None if recorder is None else recorder.replay_verified
+                ),
+                "audit_replay_mismatches": (
+                    None if recorder is None else recorder.replay_mismatches
+                ),
+            }
             return {
                 "session_id": self.session_id,
                 "policy": self.durable.policy.name,
@@ -293,6 +350,7 @@ class ServedSession:
                 "snapshots_retained": self.durable.snapshots_retained,
                 "durability_backend": self.durable.backend_name,
                 "recovered_epoch": self.durable.recovered_epoch,
+                **audit,
             }
 
     def close(self) -> None:
@@ -408,10 +466,10 @@ class SessionRegistry:
             try:
                 recovered.append(self._register(self._recover(path)).session_id)
             except ReproError as exc:
-                print(
-                    f"warning: skipping unrecoverable session directory "
-                    f"{path}: {exc}",
-                    file=sys.stderr,
+                _log.warning(
+                    "skipping unrecoverable session directory %s: %s",
+                    path, exc,
+                    extra={"session_id": path.name},
                 )
         return recovered
 
@@ -503,6 +561,11 @@ class SessionRegistry:
                     f"Session id {session.session_id!r} is already live"
                 )
             self._sessions[session.session_id] = session
+        _log.info(
+            "session registered: %s (%s)",
+            session.session_id, session.durable.policy.name,
+            extra={"session_id": session.session_id},
+        )
         return session
 
     # -- teardown ------------------------------------------------------------
@@ -512,6 +575,10 @@ class SessionRegistry:
         with self._lock:
             session = self._sessions.pop(session_id)
         session.close()
+        _log.info(
+            "session removed: %s", session_id,
+            extra={"session_id": session_id},
+        )
 
     def close_all(self) -> None:
         """Close every session (server shutdown)."""

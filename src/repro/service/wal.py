@@ -4,12 +4,15 @@ A live serving session must survive its process.  The durability model is
 the classic pair:
 
 * **Write-ahead log** — one record per session *event*, appended (and
-  flushed) before the event is applied to the in-memory engine.  Three
+  flushed) before the event is applied to the in-memory engine.  Four
   event types exist: ``answers`` (a batch of collected answers,
   optionally followed by a model ``observe``), ``select`` (a task
   request — logged because selects can trigger refits, which are part of
-  the warm-start EM chain) and ``estimates`` (a full catch-up fit — same
-  reason).  Storage is pluggable (:mod:`repro.service.storage`): the
+  the warm-start EM chain), ``estimates`` (a full catch-up fit — same
+  reason) and ``decision`` (the select's audit record, written *after*
+  the select by the attached
+  :class:`~repro.engine.provenance.DecisionRecorder` and replayed with
+  hash verification on recovery).  Storage is pluggable (:mod:`repro.service.storage`): the
   JSONL backend keeps rotated ``wal-<first_record>.jsonl`` segments, the
   SQLite backend one ``durable.sqlite3`` database.  A torn final write
   (process killed mid-append) is detected and dropped on recovery.
@@ -62,13 +65,13 @@ from __future__ import annotations
 import pathlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.answers import AnswerSet
+from repro.core.codec import (  # noqa: F401  (re-exported compat surface)
+    deserialize_result,
+    serialize_result,
+)
 from repro.core.inference import InferenceResult
-from repro.core.posteriors import CategoricalPosterior, GaussianPosterior
 from repro.core.schema import TableSchema
-from repro.core.worker_model import WorkerModel
 from repro.service.storage import (  # noqa: F401  (re-exported compat surface)
     Snapshot,
     SnapshotStore,
@@ -93,75 +96,8 @@ Cell = Tuple[int, int]
 FORMAT_VERSION = 2
 
 
-# -- model-state codec --------------------------------------------------------
-
-
-def serialize_result(result: InferenceResult) -> dict:
-    """Serialize an :class:`InferenceResult` to a JSON-safe dict, exactly.
-
-    Every float goes through Python's ``repr``-based JSON encoding, which
-    round-trips IEEE-754 doubles bit for bit; categorical posteriors are
-    restored without renormalisation
-    (:meth:`~repro.core.posteriors.CategoricalPosterior.from_normalized`),
-    so ``deserialize_result(serialize_result(r), r.schema)`` reproduces the
-    result's arrays and posteriors to the last bit — the precondition for
-    replaying the warm-start chain identically after recovery.
-    """
-    posteriors = []
-    for (row, col), posterior in result.posteriors.items():
-        if posterior.is_categorical:
-            payload = [float(p) for p in posterior.probs]
-            kind = "c"
-        else:
-            payload = [float(posterior.mean), float(posterior.variance)]
-            kind = "g"
-        posteriors.append([int(row), int(col), kind, payload])
-    return {
-        "epsilon": float(result.worker_model.epsilon),
-        "worker_ids": list(result.worker_ids),
-        "alpha": [float(x) for x in result.alpha],
-        "beta": [float(x) for x in result.beta],
-        "phi": [float(x) for x in result.phi],
-        "column_scale": [float(x) for x in result.column_scale],
-        "column_offset": [float(x) for x in result.column_offset],
-        "posteriors": posteriors,
-        "objective_trace": [float(x) for x in result.objective_trace],
-        "n_iterations": int(result.n_iterations),
-        "converged": bool(result.converged),
-        "stopped_by": str(result.stopped_by),
-    }
-
-
-def deserialize_result(payload: dict, schema: TableSchema) -> InferenceResult:
-    """Rebuild the :class:`InferenceResult` serialized by :func:`serialize_result`."""
-    posteriors = {}
-    for row, col, kind, data in payload["posteriors"]:
-        row, col = int(row), int(col)
-        if kind == "c":
-            posteriors[(row, col)] = CategoricalPosterior.from_normalized(
-                schema.columns[col].labels, np.asarray(data, dtype=float)
-            )
-        elif kind == "g":
-            posteriors[(row, col)] = GaussianPosterior(
-                float(data[0]), float(data[1])
-            )
-        else:
-            raise DurabilityError(f"Unknown posterior kind {kind!r} in snapshot")
-    return InferenceResult(
-        schema=schema,
-        worker_model=WorkerModel(float(payload["epsilon"])),
-        worker_ids=list(payload["worker_ids"]),
-        alpha=np.asarray(payload["alpha"], dtype=float),
-        beta=np.asarray(payload["beta"], dtype=float),
-        phi=np.asarray(payload["phi"], dtype=float),
-        column_scale=np.asarray(payload["column_scale"], dtype=float),
-        column_offset=np.asarray(payload["column_offset"], dtype=float),
-        posteriors=posteriors,
-        objective_trace=list(payload["objective_trace"]),
-        n_iterations=int(payload["n_iterations"]),
-        converged=bool(payload["converged"]),
-        stopped_by=str(payload["stopped_by"]),
-    )
+# The model-state codec (serialize_result / deserialize_result) lives in
+# :mod:`repro.core.codec` now, re-exported above unchanged.
 
 
 # -- durable session ----------------------------------------------------------
@@ -238,6 +174,12 @@ class DurableSession:
         self.snapshot_every = int(snapshot_every)
         self.keep_snapshots = keep_snapshots
         self.answers = AnswerSet(schema)
+        #: The policy's :class:`~repro.engine.provenance.DecisionRecorder`
+        #: (None when auditing is off).  Live records are persisted through
+        #: :meth:`_log_decision`; recovery replays them with verification.
+        self.recorder = getattr(policy, "recorder", None)
+        if self.recorder is not None:
+            self.recorder.sink = self._log_decision
         self.replayed_records = 0
         self.recovered_epoch: Optional[int] = None
         self.snapshots_written = 0
@@ -329,7 +271,9 @@ class DurableSession:
         if self._storage is None:
             return None
         last = self._storage.last_record
-        if last is not None and last.get("t") == "select":
+        if last is not None and last.get("t") in ("select", "decision"):
+            # A trailing ``decision`` record dangles the same way: its
+            # select's answer batch never made it to the log.
             return last["w"], int(last["k"])
         return None
 
@@ -352,17 +296,23 @@ class DurableSession:
             self._answers_at_last_snapshot = latest.answers_seen
         snapshot = self._usable_snapshot(total, first)
         start = first
-        if snapshot is not None:
-            self._restore_snapshot(snapshot, records, first)
-            start = snapshot.wal_records
-        elif first > 0:
-            raise DurabilityError(
-                f"the WAL prefix below record {first} was pruned but no "
-                "retained snapshot is standalone (model + answer prefix); "
-                "the durable directory cannot be recovered"
-            )
-        for record in records[start - first:]:
-            self._apply(record)
+        if self.recorder is not None:
+            self.recorder.begin_replay()
+        try:
+            if snapshot is not None:
+                self._restore_snapshot(snapshot, records, first)
+                start = snapshot.wal_records
+            elif first > 0:
+                raise DurabilityError(
+                    f"the WAL prefix below record {first} was pruned but no "
+                    "retained snapshot is standalone (model + answer prefix); "
+                    "the durable directory cannot be recovered"
+                )
+            for record in records[start - first:]:
+                self._apply(record)
+        finally:
+            if self.recorder is not None:
+                self.recorder.end_replay()
         self.replayed_records = total - start
 
     def _usable_snapshot(self, total: int, first: int) -> Optional[Snapshot]:
@@ -409,6 +359,9 @@ class DurableSession:
         model = snapshot.payload["model"]
         result = deserialize_result(model["result"], self.schema)
         self.policy.restore_state(result, int(model["answers_seen"]))
+        audit = snapshot.payload.get("audit")
+        if self.recorder is not None and audit:
+            self.recorder.restore(audit)
         self.recovered_epoch = snapshot.epoch
         self._answers_at_last_snapshot = snapshot.answers_seen
 
@@ -431,9 +384,31 @@ class DurableSession:
         elif kind == "estimates":
             if len(self.answers):
                 self.policy.final_result(self.answers)
+        elif kind == "decision":
+            # Audit record: restore it verbatim, verifying it against the
+            # record the preceding replayed select just recomputed.
+            if self.recorder is not None:
+                self.recorder.apply_logged(record["d"])
         # Unknown record types are skipped (forward compatibility).
 
     # -- session events -------------------------------------------------------
+
+    def _log_decision(self, record) -> None:
+        """Persist one live audit record (the recorder's ``sink``).
+
+        Rides the WAL as ``{"t": "decision", "w": ..., "k": ..., "d":
+        <record dict>}`` — ``w``/``k`` duplicated at the top level so
+        :meth:`dangling_select` can re-issue a select whose answers were
+        lost even when the trailing record is the decision, not the
+        select.  In-memory sessions keep the recorder but skip the log.
+        """
+        if self._storage is not None:
+            self._storage.append({
+                "t": "decision",
+                "w": record.worker,
+                "k": int(record.k),
+                "d": record.to_dict(),
+            })
 
     def select(self, worker: str, k: int = 1):
         """Log and run one assignment request."""
@@ -522,6 +497,10 @@ class DurableSession:
                 for answer in self.answers
             ],
             "model": model,
+            # Full audit history rides every snapshot, so the decision
+            # chain survives WAL segment GC exactly like the answer prefix
+            # (a retained snapshot is standalone, audit included).
+            "audit": None if self.recorder is None else self.recorder.state(),
         }
         self._storage.save_snapshot(payload)
         self._snapshot_epoch += 1

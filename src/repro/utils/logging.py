@@ -1,0 +1,91 @@
+"""Structured logging: one JSON object per line, correlation fields attached.
+
+The service layer and the multiprocess shard workers used to write free-form
+text to stderr / per-worker log files, which CI could only grep.  This module
+gives every component the same stdlib :mod:`logging` setup with an optional
+JSON line formatter that carries the three correlation fields the audit layer
+introduced — ``session_id``, ``worker_id`` and ``decision_id`` — whenever a
+log site supplies them (via ``extra=`` or defaults bound at configure time).
+
+``python -m repro.service`` exposes this through ``--log-level`` and
+``--log-json``; worker processes configure themselves with JSON lines
+unconditionally so their ``worker-<i>.log`` files are machine-parseable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.utils.exceptions import ConfigurationError
+
+#: Correlation fields promoted into the JSON payload when present.
+CONTEXT_FIELDS = ("session_id", "worker_id", "decision_id")
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Format records as one JSON object per line (sorted keys, UTC epoch)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for field in CONTEXT_FIELDS:
+            value = getattr(record, field, None)
+            if value is not None:
+                payload[field] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class _ContextFilter(logging.Filter):
+    """Attach bound default fields to every record passing through."""
+
+    def __init__(self, fields: dict) -> None:
+        super().__init__()
+        self.fields = fields
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        for key, value in self.fields.items():
+            if getattr(record, key, None) is None:
+                setattr(record, key, value)
+        return True
+
+
+def configure_logging(
+    level: str = "INFO",
+    json_lines: bool = False,
+    stream=None,
+    **fields,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree and return its root.
+
+    Idempotent: replaces any handler a previous call installed, so the
+    service's ``--log-level``/``--log-json`` flags and the worker entry
+    point can both call it without duplicating output.  ``fields`` are
+    bound onto every record (e.g. ``worker_id=3``) unless the log site
+    already set them via ``extra=``.
+    """
+    numeric = getattr(logging, str(level).upper(), None)
+    if not isinstance(numeric, int):
+        raise ConfigurationError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    if fields:
+        handler.addFilter(_ContextFilter(fields))
+    logger = logging.getLogger("repro")
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger

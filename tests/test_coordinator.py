@@ -181,7 +181,7 @@ class TestShardGroupScorer:
         _write_wal(tmp_path / "answers.wal", [_wal_record(seeded_answers, observe=True)])
         whole = self._scorer(dataset, tmp_path, 0, 3)
         whole.sync_to(1)
-        count_all, top_all = whole.select("probe-worker", 4)
+        count_all, top_all, _ = whole.select("probe-worker", 4)
         assert count_all == schema.num_cells  # fresh worker: every cell open
         assert len(top_all) == 4
         gains = [gain for gain, _, _ in top_all]
@@ -189,7 +189,7 @@ class TestShardGroupScorer:
 
         part = self._scorer(dataset, tmp_path, 0, 1)
         part.sync_to(1)
-        count_part, top_part = part.select("probe-worker", 4)
+        count_part, top_part, _ = part.select("probe-worker", 4)
         assert 0 < count_part < count_all
         # Every scored cell belongs to the owned shard's row block.
         for _, row, _ in top_part:
@@ -214,7 +214,7 @@ class TestShardGroupScorer:
                 )
         _write_wal(tmp_path / "answers.wal", [_wal_record(extra)])
         scorer.sync_to(1)
-        count, top = scorer.select("blockw", 2)
+        count, top, _ = scorer.select("blockw", 2)
         assert (count, top) == (0, [])
         assert scorer.epoch >= 1  # the select-time refit was published
 

@@ -472,7 +472,7 @@ class TestDurableSessionsOverHTTP:
         assert len(fresh.get(session_id).durable.answers) == 8
         fresh.close_all()
 
-    def test_recover_all_skips_corrupt_directories(self, tmp_path, capsys):
+    def test_recover_all_skips_corrupt_directories(self, tmp_path, caplog):
         registry = SessionRegistry(durable_root=tmp_path)
         with ServiceServer(registry) as server:
             client = ServiceClient(server.address)
@@ -482,8 +482,9 @@ class TestDurableSessionsOverHTTP:
         corrupt.mkdir()
         (corrupt / "session.json").write_text("{broken", encoding="utf-8")
         fresh = SessionRegistry(durable_root=tmp_path)
-        assert fresh.recover_all() == [session_id]
-        assert "skipping unrecoverable" in capsys.readouterr().err
+        with caplog.at_level("WARNING", logger="repro.service.registry"):
+            assert fresh.recover_all() == [session_id]
+        assert "skipping unrecoverable" in caplog.text
         fresh.close_all()
 
     def test_manifest_pins_the_canonical_spec(self, tmp_path):
