@@ -72,4 +72,4 @@ def test_engine_online_loop_speedup(benchmark, report_writer):
     # Wall-clock gate kept loose: shared CI runners time both paths
     # sequentially and jitter; the real >=3x gate lives in run_bench.py.
     assert stats["speedup"] > 1.0
-    assert 0.0 <= stats["warm_agreement"] <= 1.0
+    assert 0.0 <= stats["warm_vs_cold_agreement"] <= 1.0

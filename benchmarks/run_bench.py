@@ -66,12 +66,21 @@ Recorded fields (see also ``benchmarks/README.md``):
   *final truth estimates* must also match the seed path's exactly (both end
   with a cold fit over the same final answer set), not just the assignment
   sequence; hard failure in the CI perf gate.
+* ``strategy_default_identical`` (with ``--strategies``) — pinning
+  ``policy.strategy = "paper"`` explicitly must reproduce the default
+  spec's assignment sequence, final estimates and decision-chain head bit
+  for bit across **every** serving mode (hard failure; per-mode bits in
+  ``strategy_default_identical_<mode>``).  ``strategy_curves`` records the
+  answers-to-quality curves per strategy × scenario (clean / churn / spam /
+  drift — see ``benchmarks/strategy_bench.py``), and
+  ``strategy_paper_dominates_clean`` asserts the paper's gain-based
+  selector beats the ``random`` and ``round_robin`` baselines on the clean
+  scenario (hard failure here and in the CI perf gate).
 * ``warm_vs_cold_agreement`` — fraction of *steps* where the warm-start
   path took the very same decision as the seed (cold-EM) path.  Warm starts
   perturb the EM trajectory, and most gain rankings are near-ties, so this
   number is small (~0.03 on the default scenario) without anything being
-  wrong.  The old name ``warm_agreement`` is still recorded as a deprecated
-  alias for one release; consumers should move to the new key.
+  wrong.  (The deprecated ``warm_agreement`` alias has been removed.)
 * ``warm_truth_agreement`` — the context for the above: the fraction of
   cells whose inferred truths (posterior point estimates) match between the
   warm path's final fit and a cold EM fit on the same answers.  This is the
@@ -222,6 +231,14 @@ def main(argv=None) -> int:
         "(separate from the timed runs)",
     )
     parser.add_argument(
+        "--strategies", action="store_true",
+        help="also run the strategy-zoo benchmark: the "
+        "strategy_default_identical equivalence gate (strategy='paper' "
+        "must reproduce the default bit for bit across every serving "
+        "mode) and the answers-to-quality curves per strategy x scenario "
+        "(paper must dominate the baselines on the clean scenario)",
+    )
+    parser.add_argument(
         "--scale", action="store_true",
         help="also run the scaled benchmark tier (>= 10k synthetic rows, "
         "hundreds of workers) and record the *_scale fields (non-gating)",
@@ -289,6 +306,10 @@ def main(argv=None) -> int:
                 shards=args.shards if args.shards and args.shards > 1 else 8,
             )
         )
+    if args.strategies:
+        from strategy_bench import measure_strategy_bench
+
+        stats.update(measure_strategy_bench(scenario={"seed": args.seed}))
     if args.serve:
         from repro.service.bench import (
             measure_audit_overhead,
@@ -298,12 +319,17 @@ def main(argv=None) -> int:
             verify_recovery_rotation,
         )
 
+        # The scripted scenario's RNG seed follows --seed (recorded in the
+        # payload as "seed" and inside each scripted spec's simulation
+        # section), so a re-run with the same flags replays bit for bit.
+        scripted_scenario = {"seed": args.seed}
         stats.update(
             verify_recovery_identical(
                 mode="sharded_async" if args.async_refit else "plain",
                 crash_after_steps=3,
                 truncate_bytes=7,
                 snapshot_every=25,
+                scenario=scripted_scenario,
             )
         )
         # Recovery with segment rotation + snapshot GC on, per backend:
@@ -312,7 +338,8 @@ def main(argv=None) -> int:
         rotation_bounded = True
         for storage_backend in ("jsonl", "sqlite"):
             rotation = verify_recovery_rotation(
-                mode="sharded", backend=storage_backend
+                mode="sharded", backend=storage_backend,
+                scenario=scripted_scenario,
             )
             rotation_identical &= rotation["rotation_identical"]
             rotation_bounded &= rotation["rotation_disk_bounded"]
@@ -342,6 +369,7 @@ def main(argv=None) -> int:
             audit = verify_audit_replay(
                 mode="sharded_async" if args.async_refit else "plain",
                 backend=storage_backend,
+                scenario=scripted_scenario,
             )
             audit_identical &= audit["audit_replay_identical"]
             stats.update(
@@ -358,7 +386,7 @@ def main(argv=None) -> int:
                 }
             )
         stats["audit_replay_identical"] = bool(audit_identical)
-        stats.update(measure_audit_overhead())
+        stats.update(measure_audit_overhead(scenario=scripted_scenario))
         stats.update(
             measure_serving(
                 seed=args.seed,
@@ -373,6 +401,7 @@ def main(argv=None) -> int:
     payload = {
         "benchmark": "engine_online_loop",
         "smoke": bool(args.smoke),
+        "seed": int(args.seed),
         "repeats": int(repeats),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -445,6 +474,22 @@ def main(argv=None) -> int:
         print(
             "FAIL: decision audit replay did not reproduce the pre-crash "
             "ledger record for record (see audit_replay_mismatches_*)",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("strategy_default_identical", True):
+        print(
+            "FAIL: strategy='paper' did not reproduce the default "
+            "assignment sequence / decision-chain head bit for bit "
+            "(see strategy_default_identical_* per serving mode)",
+            file=sys.stderr,
+        )
+        return 1
+    if not stats.get("strategy_paper_dominates_clean", True):
+        print(
+            "FAIL: the paper strategy's mean error on the clean scenario "
+            "exceeds a baseline's (random / round_robin) — the gain-based "
+            "selector regressed",
             file=sys.stderr,
         )
         return 1

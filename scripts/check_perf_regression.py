@@ -16,8 +16,16 @@ committed smoke-tier baseline (``BENCH_engine.json``, recorded with
   that would catch a stale scoring-cache hit), ``recovery_identical``
   (WAL+snapshot crash recovery replays the session bit for bit) or
   ``audit_replay_identical`` (replaying the WAL re-derives the recorded
-  decision ledger hash for hash) is false, which is a correctness
-  regression, never noise; or
+  decision ledger hash for hash) or ``strategy_default_identical``
+  (pinning ``policy.strategy = "paper"`` reproduces the default spec's
+  assignment sequence and decision-chain head across every serving mode)
+  is false, which is a correctness regression, never noise; or
+* the strategy zoo's quality ordering flipped —
+  ``strategy_paper_dominates_clean`` must stay true: the paper's
+  gain-based selector beats the ``random`` and ``round_robin`` baselines
+  on the clean scenario of the answers-to-quality benchmark
+  (``benchmarks/strategy_bench.py``; every session seeded, so this is
+  deterministic, never runner noise); or
 * decision recording became too expensive — ``audit_overhead_ratio``
   (relative wall-clock cost of the audit recorder on the scripted
   scenario) must stay below 10 %; or
@@ -212,6 +220,31 @@ def main(argv=None) -> int:
             "audit_replay_identical is false: replaying the WAL no longer "
             "re-derives the recorded decision ledger hash for hash (see "
             "audit_replay_mismatches_* in the candidate JSON)"
+        )
+    if "strategy_default_identical" not in candidate:
+        failures.append(
+            "candidate has no strategy_default_identical field: the smoke "
+            "run must include the strategy-zoo gate (run_bench.py "
+            "--strategies)"
+        )
+    elif not candidate["strategy_default_identical"]:
+        failures.append(
+            "strategy_default_identical is false: pinning strategy='paper' "
+            "no longer reproduces the default assignment sequence / "
+            "decision-chain head (see strategy_default_identical_* per "
+            "serving mode)"
+        )
+    if "strategy_paper_dominates_clean" not in candidate:
+        failures.append(
+            "candidate has no strategy_paper_dominates_clean field: the "
+            "smoke run must include the answers-to-quality curves "
+            "(run_bench.py --strategies)"
+        )
+    elif not candidate["strategy_paper_dominates_clean"]:
+        failures.append(
+            "strategy_paper_dominates_clean is false: the paper's "
+            "gain-based strategy no longer beats the random / round_robin "
+            "baselines on the clean scenario (see strategy_curves)"
         )
     audit_overhead = candidate.get("audit_overhead_ratio")
     if audit_overhead is None:

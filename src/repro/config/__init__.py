@@ -21,6 +21,7 @@ JSON files from the command line.
 from repro.config.spec import (
     ENVELOPE_KEYS,
     SPEC_VERSION,
+    STRATEGY_NAMES,
     DurabilitySpec,
     ModelSpec,
     PolicySpec,
@@ -29,6 +30,7 @@ from repro.config.spec import (
     SessionSpecBuilder,
     SimulationSpec,
     SpecValidationError,
+    StrategySpec,
     split_envelope,
     upgrade_legacy_config,
 )
@@ -36,6 +38,7 @@ from repro.config.spec import (
 __all__ = [
     "ENVELOPE_KEYS",
     "SPEC_VERSION",
+    "STRATEGY_NAMES",
     "DurabilitySpec",
     "ModelSpec",
     "PolicySpec",
@@ -44,6 +47,7 @@ __all__ = [
     "SessionSpecBuilder",
     "SimulationSpec",
     "SpecValidationError",
+    "StrategySpec",
     "split_envelope",
     "upgrade_legacy_config",
 ]

@@ -36,11 +36,19 @@ def build_assigner(schema: TableSchema, spec: SessionSpec) -> TCrowdAssigner:
     ``serving.refit_tol`` is applied here: the objective-based
     early-stopping tolerance rides on the assigner even though it is a
     serving-section field (see :class:`~repro.config.ServingSpec`).
+    ``policy.strategy`` is built into a live
+    :class:`~repro.strategies.AssignmentStrategy` here too (``None`` for
+    the default ``"paper"``), so every caller of this factory — the
+    platform simulator, the HTTP service, the benchmarks — serves the
+    spec's strategy without further wiring.
     """
+    from repro.strategies import build_strategy
+
     return TCrowdAssigner(
         schema,
         model=build_model(spec.policy.model),
         refit_tol=spec.serving.refit_tol,
+        strategy=build_strategy(spec.policy.strategy),
         **spec.policy.to_kwargs(),
     )
 
@@ -121,13 +129,16 @@ def build_policy(
     With ``serving.audit`` (the default) a
     :class:`~repro.engine.provenance.DecisionRecorder` is attached to the
     **outermost** policy — one audit record per served select, regardless
-    of how many inner policies the wrapper consults.
+    of how many inner policies the wrapper consults.  The recorder is
+    bound to ``policy.strategy.name``, pinning the strategy under the
+    decision-record hash chain (a non-default strategy derives the chain
+    genesis; ``"paper"`` keeps the historic all-zeros genesis).
     """
     policy = wrap_policy(build_assigner(schema, spec), spec.serving, clock=clock)
     if spec.serving.audit:
         from repro.engine.provenance import DecisionRecorder
 
-        policy.set_recorder(DecisionRecorder())
+        policy.set_recorder(DecisionRecorder(strategy=spec.policy.strategy.name))
     return policy
 
 

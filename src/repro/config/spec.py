@@ -152,6 +152,101 @@ def _field_names(cls) -> Tuple[str, ...]:
 # -- nested sections ----------------------------------------------------------
 
 
+#: Assignment-strategy names the spec accepts (must match the registry in
+#: :mod:`repro.strategies`; listed here so the spec module stays importable
+#: without the strategies package).
+STRATEGY_NAMES = (
+    "paper",
+    "random",
+    "round_robin",
+    "uncertainty",
+    "budget_voi",
+    "epsilon_greedy",
+)
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Which assignment strategy the policy serves (:mod:`repro.strategies`).
+
+    ``name`` selects the strategy; the remaining fields parameterise the
+    strategies that take options and are ignored by the ones that do not
+    (they still round-trip exactly, so two specs differing only in an
+    unused knob compare unequal — the spec is a document, not behaviour):
+
+    * ``epsilon`` / ``base`` — the explore probability and the exploited
+      base strategy of ``epsilon_greedy`` (``base`` may be any strategy
+      except ``epsilon_greedy`` itself);
+    * ``confidence`` / ``min_answers`` — the posterior-confidence
+      retirement threshold of ``budget_voi`` and the minimum answers a
+      cell must collect before it may retire;
+    * ``seed`` — the deterministic score stream of ``random`` and the
+      explore draws of ``epsilon_greedy`` (hash-derived, never a stateful
+      RNG, so every serving mode and every WAL replay scores identically).
+
+    ``"paper"`` (the default) is byte-for-byte the gain-based selector of
+    Sections 5.1/5.2 — specs that never mention a strategy behave exactly
+    as they did before the strategy axis existed.
+    """
+
+    _SECTION: ClassVar[str] = "policy.strategy"
+
+    name: str = "paper"
+    epsilon: float = 0.1
+    base: str = "paper"
+    confidence: float = 0.9
+    min_answers: int = 2
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        s = self._SECTION
+        set_ = object.__setattr__
+        name = _check_str(f"{s}.name", self.name)
+        if name not in STRATEGY_NAMES:
+            raise SpecValidationError(
+                f"{s}.name",
+                f"must be one of {list(STRATEGY_NAMES)}, got {name!r}",
+            )
+        set_(self, "name", name)
+        epsilon = _check_float(f"{s}.epsilon", self.epsilon, 0.0)
+        if epsilon > 1.0:
+            raise SpecValidationError(
+                f"{s}.epsilon", f"must be <= 1.0, got {epsilon}"
+            )
+        set_(self, "epsilon", epsilon)
+        base = _check_str(f"{s}.base", self.base)
+        if base not in STRATEGY_NAMES or base == "epsilon_greedy":
+            raise SpecValidationError(
+                f"{s}.base",
+                "must be a non-composite strategy name "
+                f"({[n for n in STRATEGY_NAMES if n != 'epsilon_greedy']}), "
+                f"got {base!r}",
+            )
+        set_(self, "base", base)
+        confidence = _check_float(
+            f"{s}.confidence", self.confidence, 0.0, exclusive=True
+        )
+        if confidence > 1.0:
+            raise SpecValidationError(
+                f"{s}.confidence", f"must be <= 1.0, got {confidence}"
+            )
+        set_(self, "confidence", confidence)
+        set_(self, "min_answers",
+             _check_int(f"{s}.min_answers", self.min_answers, 0))
+        set_(self, "seed", _check_int(f"{s}.seed", self.seed, 0, optional=True))
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "StrategySpec":
+        if isinstance(payload, str):
+            # Shorthand: "uncertainty" == {"name": "uncertainty"}.
+            return cls(name=payload)
+        _reject_unknown(cls._SECTION, payload, _field_names(cls))
+        return cls(**payload)
+
+
 @dataclass(frozen=True)
 class ModelSpec:
     """EM truth-inference options (:class:`~repro.core.inference.TCrowdModel`).
@@ -225,6 +320,7 @@ class PolicySpec:
     _SECTION: ClassVar[str] = "policy"
 
     model: ModelSpec = field(default_factory=ModelSpec)
+    strategy: StrategySpec = field(default_factory=StrategySpec)
     use_structure: bool = True
     refit_every: int = 1
     continuous_samples: int = 0
@@ -241,6 +337,11 @@ class PolicySpec:
         if not isinstance(self.model, ModelSpec):
             raise SpecValidationError(
                 f"{s}.model", f"must be a model object, got {self.model!r}"
+            )
+        if not isinstance(self.strategy, StrategySpec):
+            raise SpecValidationError(
+                f"{s}.strategy",
+                f"must be a strategy object, got {self.strategy!r}",
             )
         set_(self, "use_structure",
              _check_bool(f"{s}.use_structure", self.use_structure))
@@ -261,12 +362,19 @@ class PolicySpec:
     def to_dict(self) -> dict:
         payload = dataclasses.asdict(self)
         payload["model"] = self.model.to_dict()
+        payload["strategy"] = self.strategy.to_dict()
         return payload
 
     def to_kwargs(self) -> dict:
-        """``TCrowdAssigner`` keyword arguments (model excluded)."""
+        """``TCrowdAssigner`` keyword arguments (model/strategy excluded).
+
+        The model and strategy fields are *specs*; the factory builds the
+        live objects (``build_model`` / ``repro.strategies.build_strategy``)
+        and passes them alongside these kwargs.
+        """
         payload = self.to_dict()
         payload.pop("model")
+        payload.pop("strategy")
         return payload
 
     @classmethod
@@ -275,6 +383,8 @@ class PolicySpec:
         payload = dict(payload)
         if "model" in payload:
             payload["model"] = ModelSpec.from_dict(payload["model"])
+        if "strategy" in payload:
+            payload["strategy"] = StrategySpec.from_dict(payload["strategy"])
         return cls(**payload)
 
 
@@ -461,6 +571,24 @@ class SimulationSpec:
 
     Only the platform simulator and the benchmarks read this section; the
     live HTTP service ignores it (real crowds bring their own budget).
+
+    The scenario knobs make the simulated crowd adversarial — each one is
+    **off at its default** and, when off, consumes *zero* extra RNG draws,
+    so every pre-existing seeded trace (the golden-trace fixture, the
+    equivalence benchmarks) replays bit for bit:
+
+    * ``worker_churn_rate`` — probability per arrival that the active
+      worker subset is resampled (workers leave mid-session, others —
+      including previously departed ones — arrive);
+    * ``spam_fraction`` / ``spam_contamination`` — a seeded fraction of
+      the pool has its contamination raised to ``spam_contamination``
+      (adversarial workers answering at random);
+    * ``difficulty_drift`` — deterministic multiplicative drift of the
+      oracle's row difficulties (``exp(rate * steps)``, capped — the task
+      mix gets harder as the session runs).
+
+    All scenario randomness derives from ``seed`` through per-feature
+    hash-derived sub-seeds, so a scenario run is exactly replayable.
     """
 
     _SECTION: ClassVar[str] = "simulation"
@@ -471,6 +599,10 @@ class SimulationSpec:
     eval_every_answers_per_task: float = 0.5
     seed: Optional[int] = None
     max_steps: Optional[int] = None
+    worker_churn_rate: float = 0.0
+    spam_fraction: float = 0.0
+    spam_contamination: float = 0.9
+    difficulty_drift: float = 0.0
 
     def __post_init__(self) -> None:
         s = self._SECTION
@@ -490,6 +622,19 @@ class SimulationSpec:
         set_(self, "seed", _check_int(f"{s}.seed", self.seed, 0, optional=True))
         set_(self, "max_steps",
              _check_int(f"{s}.max_steps", self.max_steps, 0, optional=True))
+        for name, ceiling in (
+            ("worker_churn_rate", 0.999),
+            ("spam_fraction", 1.0),
+            ("spam_contamination", 1.0),
+        ):
+            value = _check_float(f"{s}.{name}", getattr(self, name), 0.0)
+            if value > ceiling:
+                raise SpecValidationError(
+                    f"{s}.{name}", f"must be <= {ceiling}, got {value}"
+                )
+            set_(self, name, value)
+        set_(self, "difficulty_drift",
+             _check_float(f"{s}.difficulty_drift", self.difficulty_drift, 0.0))
         if self.target_answers_per_task <= self.initial_answers_per_task:
             raise SpecValidationError(
                 f"{s}.target_answers_per_task",
@@ -699,6 +844,14 @@ class SessionSpecBuilder:
     def policy(self, **options) -> "SessionSpecBuilder":
         """Set :class:`PolicySpec` fields (model fields via :meth:`model`)."""
         self._policy.update(options)
+        return self
+
+    def strategy(self, name: str, **options) -> "SessionSpecBuilder":
+        """Select the assignment strategy (see :class:`StrategySpec`)::
+
+            SessionSpec.builder().strategy("epsilon_greedy", epsilon=0.2)
+        """
+        self._policy["strategy"] = {"name": name, **options}
         return self
 
     def serving(self, **options) -> "SessionSpecBuilder":

@@ -320,6 +320,17 @@ class TCrowdAssigner(AssignmentPolicy):
         with stable top-K selection instead of the per-cell scalar loop.
     incremental:
         See :class:`AssignmentPolicy`.
+    strategy:
+        Optional :class:`~repro.strategies.AssignmentStrategy` overriding
+        *what scores candidate cells* (``None``, the default, is the
+        paper's gain — byte-for-byte the pre-strategy behaviour).  The
+        strategy only replaces the calculator built by
+        :meth:`_build_calculator`; candidate filtering, refit cadence,
+        stable top-K / shard merge and provenance stay shared, which is
+        why any strategy serves identically through every serving mode.
+        This module never imports the strategies package — the factory
+        (:func:`repro.config.factory.build_assigner`) builds the object
+        from ``PolicySpec.strategy`` and injects it here.
     """
 
     def __init__(
@@ -336,6 +347,7 @@ class TCrowdAssigner(AssignmentPolicy):
         vectorized: bool = True,
         incremental: bool = True,
         refit_tol: Optional[float] = None,
+        strategy=None,
     ) -> None:
         super().__init__(
             schema,
@@ -353,6 +365,7 @@ class TCrowdAssigner(AssignmentPolicy):
         self.warm_start = bool(warm_start)
         self.refit_tol = None if refit_tol is None else float(refit_tol)
         self.vectorized = bool(vectorized)
+        self.strategy = strategy
         self._rng = as_generator(
             seed if seed is not None else getattr(self.model, "rng", None)
         )
@@ -361,7 +374,14 @@ class TCrowdAssigner(AssignmentPolicy):
 
     @property
     def name(self) -> str:
-        return "T-Crowd (structure-aware)" if self.use_structure else "T-Crowd (inherent)"
+        base = (
+            "T-Crowd (structure-aware)"
+            if self.use_structure
+            else "T-Crowd (inherent)"
+        )
+        if self.strategy is not None:
+            return f"{base} [{self.strategy.name}]"
+        return base
 
     @property
     def last_result(self) -> Optional[InferenceResult]:
@@ -522,6 +542,26 @@ class TCrowdAssigner(AssignmentPolicy):
         return self._result
 
     def _build_calculator(self, result: InferenceResult, answers: AnswerSet):
+        """The calculator scoring this state — strategy-aware dispatcher.
+
+        Every serving mode funnels scoring through here (directly, via
+        :meth:`prepare_scoring`, :meth:`rank_candidates` or
+        :meth:`calculator_for`), so swapping the strategy swaps scoring
+        for *all* of them at once while everything around the scores —
+        candidate filtering, stable top-K, shard merge, provenance —
+        stays shared.
+        """
+        if self.strategy is not None:
+            return self.strategy.build_calculator(self, result, answers)
+        return self.paper_calculator(result, answers)
+
+    def paper_calculator(self, result: InferenceResult, answers: AnswerSet):
+        """The paper's gain calculator (Sections 5.1/5.2), strategy-blind.
+
+        Public so composing strategies (``budget_voi``, ``epsilon_greedy``
+        with a ``paper`` base) can reach the inner gain without recursing
+        through the strategy dispatch of :meth:`_build_calculator`.
+        """
         if self.use_structure:
             return StructureAwareGainCalculator(
                 result,

@@ -163,15 +163,27 @@ def worker_spec_from_assigner(assigner: TCrowdAssigner) -> dict:
     model["seed"] = _json_seed(assigner.model.seed)
     policy = {name: getattr(assigner, name) for name in _POLICY_FIELDS}
     policy["seed"] = _json_seed(assigner.seed)
-    return {"model": model, "policy": policy}
+    strategy = None if assigner.strategy is None else assigner.strategy.spec.to_dict()
+    return {"model": model, "policy": policy, "strategy": strategy}
 
 
 def build_worker_assigner(schema: TableSchema, payload: dict) -> TCrowdAssigner:
     """The worker-side twin of the coordinator's assigner."""
+    from repro.config.spec import StrategySpec
     from repro.core.inference import TCrowdModel
+    from repro.strategies import build_strategy
 
+    strategy_payload = payload.get("strategy")
+    strategy = (
+        None
+        if strategy_payload is None
+        else build_strategy(StrategySpec.from_dict(strategy_payload))
+    )
     return TCrowdAssigner(
-        schema, model=TCrowdModel(**payload["model"]), **payload["policy"]
+        schema,
+        model=TCrowdModel(**payload["model"]),
+        strategy=strategy,
+        **payload["policy"],
     )
 
 

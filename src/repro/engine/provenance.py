@@ -58,7 +58,8 @@ from repro.core.codec import model_state_hash, payload_hash
 
 Cell = Tuple[int, int]
 
-#: ``prev_hash`` of the first record in a session's chain.
+#: ``prev_hash`` of the first record in a session's chain (the default,
+#: paper-strategy genesis; see :func:`strategy_genesis`).
 GENESIS_HASH = "0" * 64
 
 #: Bump when the audit record layout changes incompatibly.
@@ -84,6 +85,22 @@ CORE_FIELDS = (
     "model_hash",
     "prev_hash",
 )
+
+
+def strategy_genesis(strategy: Optional[str]) -> str:
+    """The chain genesis hash a strategy binds.
+
+    ``None`` / ``"paper"`` keep the historic all-zeros
+    :data:`GENESIS_HASH`, so every pre-strategy chain head stays
+    bit-identical.  Any other strategy derives its genesis from its name,
+    which places the strategy *under* the hash chain: the first record's
+    ``prev_hash`` (and therefore every later ``record_hash``) commits to
+    which strategy served the session, without touching
+    :data:`CORE_FIELDS` or any individual record layout.
+    """
+    if strategy in (None, "paper"):
+        return GENESIS_HASH
+    return payload_hash({"audit_genesis": str(strategy)})
 
 
 def record_core(payload: dict) -> dict:
@@ -169,10 +186,14 @@ class DecisionRecorder:
     durable session — receives every live record for WAL persistence.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strategy: Optional[str] = None) -> None:
+        #: The assignment strategy this chain is bound to (``None`` and
+        #: ``"paper"`` are the default selector; see :func:`strategy_genesis`).
+        self.strategy = None if strategy in (None, "paper") else str(strategy)
+        self._genesis = strategy_genesis(strategy)
         self._lock = threading.Lock()
         self._records: List[DecisionRecord] = []
-        self._head = GENESIS_HASH
+        self._head = self._genesis
         self._epoch = -1
         self._last_answers_seen: Optional[int] = None
         self._hash_cache: Tuple[Optional[int], Optional[str]] = (None, None)
@@ -340,6 +361,7 @@ class DecisionRecorder:
         with self._lock:
             return {
                 "format": AUDIT_FORMAT,
+                "strategy": self.strategy,
                 "chain_head": self._head,
                 "epoch": self._epoch,
                 "answers_seen": self._last_answers_seen,
@@ -347,13 +369,19 @@ class DecisionRecorder:
             }
 
     def restore(self, state: dict) -> None:
-        """Re-seat the audit state captured by :meth:`state`."""
+        """Re-seat the audit state captured by :meth:`state`.
+
+        The strategy binding (and with it the chain genesis) is a
+        construction-time property — recovery rebuilds the recorder from
+        the same pinned spec, so a restored empty chain re-heads at this
+        recorder's own genesis, never the persisted one.
+        """
         with self._lock:
             self._records = [
                 DecisionRecord.from_dict(payload)
                 for payload in state.get("records", [])
             ]
-            self._head = str(state.get("chain_head", GENESIS_HASH))
+            self._head = str(state.get("chain_head", self._genesis))
             self._epoch = int(state.get("epoch", -1))
             seen = state.get("answers_seen")
             self._last_answers_seen = None if seen is None else int(seen)

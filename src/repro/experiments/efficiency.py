@@ -27,6 +27,7 @@ from repro.core.inference import TCrowdModel
 from repro.core.structure_gain import StructureAwareGainCalculator
 from repro.datasets import generate_synthetic, load_celebrity
 from repro.experiments.reporting import ExperimentReport
+from repro.strategies import build_strategy
 from repro.utils.exceptions import AssignmentError
 
 
@@ -207,7 +208,7 @@ def measure_engine_speedup(
       previous result.  Warm starts change the optimiser trajectory, so this
       path is equivalent only up to the EM tolerance (see
       ``tests/test_engine.py``); its step-level agreement with the seed
-      sequence is reported as ``warm_agreement``, and because near-ties make
+      sequence is reported as ``warm_vs_cold_agreement``, and because near-ties make
       that number look alarming on its own, the *posterior-truth* agreement
       between the warm path's final fit and a cold EM fit on the same
       answers is reported alongside as ``warm_truth_agreement`` (see
@@ -352,6 +353,7 @@ def measure_engine_speedup(
             vectorized=fast,
             incremental=fast,
             refit_tol=refit_tol,
+            strategy=build_strategy(spec.policy.strategy),
         )
         # The serving wrapper comes from the same factory table every other
         # entry point (platform session, HTTP service) uses.
@@ -463,10 +465,8 @@ def measure_engine_speedup(
         "identical_assignments": seed_decisions == exact_decisions,
         # warm_vs_cold_agreement counts steps where the warm path took the
         # exact same decision as the cold seed path — dominated by near-ties,
-        # hence the honest name.  warm_agreement is the deprecated alias
-        # (kept one release; see benchmarks/README.md).
+        # hence the honest name.
         "warm_vs_cold_agreement": agreement_steps / max(len(seed_decisions), 1),
-        "warm_agreement": agreement_steps / max(len(seed_decisions), 1),
         "warm_truth_agreement": warm_truth_agreement,
         "model_kwargs": options,
         "timing_repeats": int(timing_repeats),
@@ -919,7 +919,7 @@ def engine_speedup_report(stats: Dict[str, object]) -> ExperimentReport:
                    stats["identical_assignments"])
     report.add_row("engine + warm-start EM",
                    stats["seconds_engine_warm_path"], stats["speedup_warm"],
-                   f"agreement={stats['warm_agreement']:.2f}")
+                   f"agreement={stats['warm_vs_cold_agreement']:.2f}")
     series = [
         (0, stats["seconds_seed_path"]),
         (1, stats["seconds_engine_path"]),
@@ -966,7 +966,7 @@ def engine_speedup_report(stats: Dict[str, object]) -> ExperimentReport:
         "near-ties differently."
     )
     report.add_note(
-        "warm_agreement counts identical *decisions* and is dominated by "
+        "warm_vs_cold_agreement counts identical *decisions* and is dominated by "
         "near-ties; warm_truth_agreement="
         f"{stats.get('warm_truth_agreement', float('nan')):.2f} is the "
         "fraction of cells whose inferred truths match a cold EM fit on the "

@@ -11,12 +11,24 @@ truth.
 
 from repro.platform.arrival import WorkerArrivalProcess
 from repro.platform.budget import Budget
+from repro.platform.scenario import (
+    DifficultyDrift,
+    SessionScenario,
+    build_scenario,
+    scenario_seed,
+    spam_pool,
+)
 from repro.platform.session import CrowdsourcingSession, SessionRecord, SessionTrace
 
 __all__ = [
     "Budget",
     "CrowdsourcingSession",
+    "DifficultyDrift",
     "SessionRecord",
+    "SessionScenario",
     "SessionTrace",
     "WorkerArrivalProcess",
+    "build_scenario",
+    "scenario_seed",
+    "spam_pool",
 ]

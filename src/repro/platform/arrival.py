@@ -4,11 +4,20 @@ On AMT, workers arrive in sessions: a worker picks up a HIT, usually
 completes a few more, and leaves.  :class:`WorkerArrivalProcess` reproduces
 this: workers are drawn from the pool proportionally to their activity, and
 each arrival stays for a geometric number of consecutive HITs.
+
+With ``churn_rate > 0`` the process additionally models workers leaving the
+platform mid-session: only a sampled *active* subset of the pool (an
+``active_fraction`` of it, activity-weighted) picks up HITs, and before
+each arrival a churn event re-samples that subset with probability
+``churn_rate``.  A churned-out worker is not gone for good — a later churn
+event can re-activate them (re-arrival).  With ``churn_rate=0`` (the
+default) the process draws exactly the same random sequence as before the
+knob existed, so seeded traces are unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 
 from repro.datasets.workers import WorkerPool
@@ -24,24 +33,66 @@ class WorkerArrivalProcess:
         pool: WorkerPool,
         seed=None,
         session_continue_probability: float = 0.7,
+        churn_rate: float = 0.0,
+        active_fraction: float = 0.5,
     ) -> None:
         require_in_range(
             session_continue_probability, 0.0, 0.999, "session_continue_probability"
         )
+        require_in_range(churn_rate, 0.0, 0.999, "churn_rate")
+        require_in_range(active_fraction, 0.01, 1.0, "active_fraction")
         self.pool = pool
         self.session_continue_probability = float(session_continue_probability)
+        self.churn_rate = float(churn_rate)
+        self.active_fraction = float(active_fraction)
         self._rng = as_generator(seed)
         self._current: Optional[str] = None
+        self._active: Optional[List[int]] = None
+        if self.churn_rate > 0.0:
+            self._resample_active()
+
+    def active_worker_ids(self) -> List[str]:
+        """Ids of the workers currently able to pick up HITs."""
+        worker_ids = self.pool.worker_ids()
+        if self._active is None:
+            return worker_ids
+        return [worker_ids[index] for index in self._active]
+
+    def _resample_active(self) -> None:
+        """One churn event: draw a fresh activity-weighted active subset."""
+        worker_ids = self.pool.worker_ids()
+        target = max(1, int(round(self.active_fraction * len(worker_ids))))
+        chosen = self._rng.choice(
+            len(worker_ids),
+            size=min(target, len(worker_ids)),
+            replace=False,
+            p=self.pool.activities(),
+        )
+        self._active = sorted(int(index) for index in chosen)
+        if self._current is not None:
+            # A sticky worker who churned out ends their session immediately.
+            active_ids = {worker_ids[index] for index in self._active}
+            if self._current not in active_ids:
+                self._current = None
 
     def next_worker(self) -> str:
         """Return the worker who requests the next HIT."""
+        if self.churn_rate > 0.0 and self._rng.random() < self.churn_rate:
+            self._resample_active()
         if (
             self._current is not None
             and self._rng.random() < self.session_continue_probability
         ):
             return self._current
         worker_ids = self.pool.worker_ids()
-        index = self._rng.choice(len(worker_ids), p=self.pool.activities())
+        if self._active is None:
+            index = self._rng.choice(len(worker_ids), p=self.pool.activities())
+        else:
+            weights = self.pool.activities()[self._active]
+            subset = self._rng.choice(
+                len(self._active), p=weights / weights.sum()
+            )
+            index = self._active[int(subset)]
         self._current = worker_ids[int(index)]
         return self._current
 

@@ -1,0 +1,169 @@
+"""Scenario perturbations of a simulated crowd (churn, spam, drift).
+
+The paper's evaluation assumes a *clean* crowd: the long-tail worker pool
+of :mod:`repro.datasets.workers`, stationary task difficulty, every worker
+available for the whole run.  Real platforms violate all three, and the
+strategy benchmark needs those violations to be reproducible: given the
+same :class:`~repro.config.SimulationSpec` the perturbed session must
+replay answer for answer.
+
+Three knobs on :class:`~repro.config.SimulationSpec` switch the
+perturbations on (all default off, in which case this module touches
+nothing — the session serves the dataset's own pool and oracle and the
+golden traces are byte-for-byte unchanged):
+
+``spam_fraction`` / ``spam_contamination``
+    A deterministic subset of workers turns adversarial: their
+    contamination (probability of answering uniformly at random) is
+    raised to at least ``spam_contamination``.  The subset is drawn from
+    a hash-derived sub-seed, so it is a pure function of
+    ``(simulation.seed, fraction)`` — independent of the session's other
+    randomness.
+``worker_churn_rate``
+    Handled by :class:`~repro.platform.arrival.WorkerArrivalProcess`:
+    only a sampled *active* subset of the pool picks up HITs, and each
+    arrival step re-samples that subset with the given probability
+    (workers leave mid-session; churned-out workers can re-arrive after
+    a later churn event).
+``difficulty_drift``
+    Row difficulty inflates multiplicatively as the session progresses
+    (``exp(rate * steps)``, capped), modelling task batches getting
+    harder over time.  Deterministic — no extra RNG draws.
+
+All sub-seeds derive from :func:`scenario_seed` (domain-separated
+blake2b), never from the session's own generator: switching a knob on
+must not shift the arrival or oracle draw sequence of the *other*
+components.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.config.spec import SimulationSpec
+from repro.datasets.workers import AnswerOracle, WorkerPool
+
+#: blake2b ``person`` domain separator (max 16 bytes).
+_DOMAIN = b"repro.scenario"
+
+#: Multiplicative cap on drifted row difficulty, so long sessions degrade
+#: instead of diverging.
+DRIFT_CAP = 10.0
+
+
+def scenario_seed(seed, tag: str) -> int:
+    """Deterministic sub-seed for one scenario component.
+
+    A pure function of ``(seed, tag)`` via domain-separated blake2b —
+    scenario components never consume draws from the session generator,
+    so enabling one knob cannot shift the randomness of another.
+    """
+    digest = hashlib.blake2b(
+        f"{'none' if seed is None else seed}:{tag}".encode("utf-8"),
+        digest_size=4,
+        person=_DOMAIN,
+    ).digest()
+    return int.from_bytes(digest, "big") % (2**31)
+
+
+def spam_pool(
+    pool: WorkerPool,
+    fraction: float,
+    contamination: float,
+    seed,
+) -> Tuple[WorkerPool, FrozenSet[str]]:
+    """A pool with ``round(fraction * len(pool))`` workers turned spammy.
+
+    The chosen workers' contamination is raised to at least
+    ``contamination`` (never lowered — a worker who already spams harder
+    keeps doing so).  Returns the (possibly new) pool and the ids of the
+    converted workers; with an empty selection the *original* pool object
+    is returned untouched.
+    """
+    count = min(int(round(fraction * len(pool))), len(pool))
+    if count <= 0:
+        return pool, frozenset()
+    rng = np.random.default_rng(scenario_seed(seed, f"spam:{fraction}"))
+    ids = pool.worker_ids()
+    chosen = frozenset(
+        ids[int(index)]
+        for index in rng.choice(len(ids), size=count, replace=False)
+    )
+    workers = [
+        dataclasses.replace(
+            worker, contamination=max(worker.contamination, float(contamination))
+        )
+        if worker.worker_id in chosen
+        else worker
+        for worker in pool
+    ]
+    return WorkerPool(workers), chosen
+
+
+@dataclasses.dataclass
+class DifficultyDrift:
+    """Multiplicative row-difficulty drift, advanced once per session step.
+
+    Owns a copy of the oracle's base difficulty and re-derives the current
+    array as ``base * min(exp(rate * steps), DRIFT_CAP)`` — a pure
+    function of the step count, so a replayed session drifts identically.
+    """
+
+    oracle: AnswerOracle
+    rate: float
+    steps: int = 0
+
+    def __post_init__(self) -> None:
+        self._base = np.array(self.oracle.row_difficulty, dtype=float, copy=True)
+
+    def advance(self, steps: int = 1) -> None:
+        """Advance the drift clock and re-derive the oracle's difficulty."""
+        self.steps += int(steps)
+        factor = min(float(np.exp(self.rate * self.steps)), DRIFT_CAP)
+        self.oracle.row_difficulty = self._base * factor
+
+
+@dataclasses.dataclass
+class SessionScenario:
+    """The (possibly perturbed) crowd one session run serves.
+
+    ``pool`` and ``oracle`` are the dataset's own objects when every knob
+    is off; otherwise they are session-owned derivations (the dataset is
+    never mutated).  ``drift`` is ``None`` unless difficulty drift is on.
+    """
+
+    pool: WorkerPool
+    oracle: AnswerOracle
+    drift: Optional[DifficultyDrift] = None
+    spam_worker_ids: FrozenSet[str] = frozenset()
+
+
+def build_scenario(dataset, simulation: SimulationSpec, seed) -> SessionScenario:
+    """Derive the scenario a :class:`~repro.config.SimulationSpec` asks for.
+
+    ``seed`` is the session's resolved seed (it may override
+    ``simulation.seed``); scenario sub-seeds derive from it so the same
+    resolved session replays the same perturbations.
+    """
+    pool = dataset.worker_pool
+    oracle = dataset.oracle
+    spam_ids: FrozenSet[str] = frozenset()
+    if simulation.spam_fraction > 0.0:
+        pool, spam_ids = spam_pool(
+            pool, simulation.spam_fraction, simulation.spam_contamination, seed
+        )
+    drifting = simulation.difficulty_drift > 0.0
+    if pool is not dataset.worker_pool or drifting:
+        # A session-owned oracle twin: drift rebinds row_difficulty on it
+        # and the spam pool replaces its worker table, neither touching
+        # the dataset's oracle (the familiarity/bias caches are shared —
+        # they are deterministic given the oracle seed either way).
+        oracle = dataclasses.replace(oracle, pool=pool)
+    drift = DifficultyDrift(oracle, simulation.difficulty_drift) if drifting else None
+    return SessionScenario(
+        pool=pool, oracle=oracle, drift=drift, spam_worker_ids=spam_ids
+    )

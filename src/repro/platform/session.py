@@ -21,6 +21,7 @@ from repro.datasets.base import CrowdDataset
 from repro.metrics import error_rate, mnad
 from repro.platform.arrival import WorkerArrivalProcess
 from repro.platform.budget import Budget
+from repro.platform.scenario import build_scenario
 from repro.utils.exceptions import AssignmentError, ConfigurationError
 from repro.utils.rng import as_generator
 
@@ -218,8 +219,19 @@ class CrowdsourcingSession:
         self.wal_fsync = durability.wal_fsync
         self.durable = None
         self._rng = as_generator(self._raw_seed)
+        # Scenario perturbations (spam / drift / churn) derive from
+        # hash-based sub-seeds, never from self._rng — with every knob at
+        # its default this serves the dataset's own pool and oracle and
+        # the arrival-seed draw below stays the only pre-loop consumption,
+        # keeping seeded traces byte-for-byte unchanged.
+        scenario = build_scenario(dataset, simulation, self._raw_seed)
+        self.worker_pool = scenario.pool
+        self.oracle = scenario.oracle
+        self.scenario = scenario
         self.arrival = WorkerArrivalProcess(
-            dataset.worker_pool, seed=self._rng.integers(0, 2**31 - 1)
+            self.worker_pool,
+            seed=self._rng.integers(0, 2**31 - 1),
+            churn_rate=simulation.worker_churn_rate,
         )
 
     @classmethod
@@ -250,7 +262,7 @@ class CrowdsourcingSession:
     def _seed_answers(self, answers: AnswerSet) -> AnswerSet:
         """Collect the initial answers (Algorithm 2, line 1): one HIT per row."""
         schema = self.dataset.schema
-        pool = self.dataset.worker_pool
+        pool = self.worker_pool
         worker_ids = pool.worker_ids()
         activities = pool.activities()
         for row in range(schema.num_rows):
@@ -263,7 +275,7 @@ class CrowdsourcingSession:
             for index in chosen:
                 worker = worker_ids[int(index)]
                 items = [
-                    (row, col, self.dataset.oracle.answer(worker, row, col, self._rng))
+                    (row, col, self.oracle.answer(worker, row, col, self._rng))
                     for col in range(schema.num_columns)
                 ]
                 if self.durable is not None:
@@ -341,7 +353,7 @@ class CrowdsourcingSession:
 
         steps = 0
         consecutive_failures = 0
-        failure_limit = 10 * len(self.dataset.worker_pool)
+        failure_limit = 10 * len(self.worker_pool)
         while not budget.exhausted:
             # The engine's incremental state knows when every cell reached its
             # answer cap; stop immediately instead of drawing workers until
@@ -369,7 +381,7 @@ class CrowdsourcingSession:
                 continue
             consecutive_failures = 0
             items = [
-                (row, col, self.dataset.oracle.answer(worker, row, col, self._rng))
+                (row, col, self.oracle.answer(worker, row, col, self._rng))
                 for row, col in assignment.cells
             ]
             if self.durable is not None:
@@ -378,6 +390,8 @@ class CrowdsourcingSession:
                 for row, col, value in items:
                     answers.add_answer(worker, row, col, value)
             budget.charge(len(assignment.cells))
+            if self.scenario.drift is not None:
+                self.scenario.drift.advance()
             if self.durable is None:
                 self.policy.observe(answers)
             if answers.mean_answers_per_cell() >= next_checkpoint or budget.exhausted:

@@ -78,14 +78,34 @@ def _serving_config(mode: str, scenario: dict) -> dict:
 
 
 def scripted_spec(mode: str, scenario: dict, audit: bool = True) -> SessionSpec:
-    """The :class:`~repro.config.SessionSpec` of one scripted serving mode."""
-    return (
+    """The :class:`~repro.config.SessionSpec` of one scripted serving mode.
+
+    The scenario's ``seed`` is recorded in the spec's simulation section so
+    the spec document the bench JSON carries pins the exact replayable run.
+    An optional ``scenario["strategy"]`` (a name or a
+    :class:`~repro.config.StrategySpec`-shaped dict) selects the assignment
+    strategy every serving mode then serves.
+    """
+    builder = (
         SessionSpec.builder()
         .model(**scenario["model_kwargs"])
         .policy(refit_every=1, warm_start=True)
+        .simulation(
+            seed=scenario.get("seed", DEFAULT_SCENARIO["seed"]),
+            target_answers_per_task=scenario.get(
+                "target_answers_per_task",
+                DEFAULT_SCENARIO["target_answers_per_task"],
+            ),
+        )
         .serving(audit=audit, **_serving_config(mode, scenario))
-        .build()
     )
+    strategy = scenario.get("strategy")
+    if strategy is not None:
+        if isinstance(strategy, str):
+            builder.strategy(strategy)
+        else:
+            builder.strategy(**strategy)
+    return builder.build()
 
 
 def _build_scripted_policy(schema, mode: str, scenario: dict, audit: bool = True):
@@ -858,6 +878,7 @@ def measure_serving(
 
     latencies = sorted(select_seconds)
     return {
+        "serve_seed": int(seed),
         "serve_num_rows": num_rows,
         "serve_target_answers_per_task": target_answers_per_task,
         "serve_requests_total": requests_total,

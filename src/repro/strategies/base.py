@@ -1,0 +1,143 @@
+"""The :class:`AssignmentStrategy` seam and its determinism toolkit.
+
+A strategy decides *what scores candidate cells* — it plugs into
+:meth:`repro.core.assignment.TCrowdAssigner._build_calculator`, the one
+point every serving mode funnels scoring through (the vectorized select,
+the scalar path, the sharded per-shard scorer, the composed
+snapshot-scoring path and the multi-process worker twins all build their
+calculator there).  Everything *around* the scores — candidate filtering,
+stable top-K and the cross-shard merge, refit cadence, WAL replay,
+decision provenance — is shared machinery the strategy never touches,
+which is what makes every strategy bit-identical across all five serving
+modes by construction.
+
+The contract for the returned calculator mirrors the paper calculators
+(:class:`~repro.core.information_gain.InformationGainCalculator`):
+
+``gain(worker, row, col) -> float``
+    Score one cell (the scalar / non-vectorized path).
+``gains_batch(worker, cells) -> np.ndarray``
+    Score many cells in one pass (the vectorized and sharded paths).
+``prewarm() -> None``
+    Make subsequent ``gains_batch`` calls side-effect free (the threaded
+    sharded scorer calls it before fanning out; a no-op is fine for
+    calculators that never mutate).
+
+Determinism rules every strategy must obey (and the provided helpers
+make easy):
+
+* **No stateful RNG.**  A generator advanced per call would diverge the
+  moment one serving mode scores in a different order than another, or a
+  WAL recovery replays from a snapshot-pruned prefix.  Randomised
+  strategies draw from :func:`hash_unit` — a pure function of
+  ``(seed, context)`` — instead.
+* **Scores are a pure function of ``(result, answers, worker, cell)``.**
+  Two processes holding the same session state must produce the same
+  score for the same cell, or the multi-process merge breaks.
+* **Finite floats only.**  Scores ride the JSON wire protocol of the
+  process coordinator and the audit ledger; ``inf``/``nan`` do not
+  survive it.  Use :data:`RETIRED_GAIN` as the "never pick this" value.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.answers import AnswerSet
+from repro.core.inference import InferenceResult
+
+Cell = Tuple[int, int]
+
+#: Finite sentinel for cells a strategy has retired: small enough that any
+#: live cell outranks it, finite so it survives JSON (the coordinator wire
+#: protocol and the audit ledger both refuse ``-inf``).
+RETIRED_GAIN = -1e18
+
+_DOMAIN = b"repro.strategies"
+
+
+def hash_unit(seed, *context) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed on ``(seed, context)``.
+
+    A BLAKE2b digest over the canonical byte string of the key, mapped to
+    a float — the stateless substitute for a stateful RNG.  Identical
+    keys give identical draws in every process, serving mode and replay;
+    varying any key component (e.g. ``answers_total``) refreshes the
+    stream as the session advances.
+    """
+    key = ":".join(
+        "none" if part is None else str(part) for part in (seed, *context)
+    )
+    digest = hashlib.blake2b(
+        key.encode("utf-8"), digest_size=8, person=_DOMAIN
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0 ** 64
+
+
+class StrategyCalculator(abc.ABC):
+    """Base class for strategy-built gain calculators.
+
+    Provides the default ``gains_batch`` (a loop over :meth:`gain`) and a
+    no-op :meth:`prewarm`; strategies with a vectorisable score override
+    ``gains_batch``.
+    """
+
+    @abc.abstractmethod
+    def gain(self, worker: str, row: int, col: int) -> float:
+        """Score one candidate cell for ``worker``."""
+
+    def gains_batch(self, worker: str, cells: Iterable[Cell]) -> np.ndarray:
+        """Scores for many candidate cells (default: scalar loop)."""
+        return np.array(
+            [self.gain(worker, row, col) for row, col in cells], dtype=float
+        )
+
+    def prewarm(self) -> None:
+        """Make ``gains_batch`` side-effect free (default: already is)."""
+
+
+class AssignmentStrategy(abc.ABC):
+    """One pluggable scoring policy (see the module docs for the contract).
+
+    ``spec`` is the :class:`~repro.config.StrategySpec` the strategy was
+    built from — the serializable identity that ships across the process
+    boundary (:func:`repro.engine.coordinator.worker_spec_from_assigner`)
+    and is pinned, by name, into durable manifests and the decision-chain
+    genesis.
+    """
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        """The registry name (``spec.name``)."""
+        return self.spec.name
+
+    @abc.abstractmethod
+    def build_calculator(
+        self,
+        assigner,
+        result: InferenceResult,
+        answers: AnswerSet,
+    ):
+        """The calculator scoring this select.
+
+        ``assigner`` is the owning
+        :class:`~repro.core.assignment.TCrowdAssigner`; strategies that
+        compose over the paper's gain call
+        ``assigner.paper_calculator(result, answers)`` for the inner
+        calculator (never ``_build_calculator``, which would recurse back
+        into the strategy).
+        """
+
+
+def batch_scores(
+    cells: Sequence[Cell], score_fn
+) -> np.ndarray:
+    """``np.ndarray`` of ``score_fn(row, col)`` over ``cells``."""
+    return np.array([score_fn(row, col) for row, col in cells], dtype=float)

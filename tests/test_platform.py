@@ -4,11 +4,18 @@ import pytest
 
 from repro.baselines.assignment_simple import RandomAssigner
 from repro.baselines.combined import CombinedInference
-from repro.config import SessionSpec
+from repro.config import SessionSpec, SimulationSpec
 from repro.core.assignment import TCrowdAssigner
 from repro.core.inference import TCrowdModel
 from repro.datasets import WorkerPool, generate_synthetic
-from repro.platform import Budget, CrowdsourcingSession, WorkerArrivalProcess
+from repro.platform import (
+    Budget,
+    CrowdsourcingSession,
+    DifficultyDrift,
+    WorkerArrivalProcess,
+    build_scenario,
+    spam_pool,
+)
 from repro.utils.exceptions import ConfigurationError
 
 
@@ -40,6 +47,18 @@ class TestBudget:
     def test_positive_total_required(self):
         with pytest.raises(ConfigurationError):
             Budget(total_answers=0)
+
+    def test_zero_budget_rate_rejected(self, mixed_schema):
+        # A session budgeted at 0 answers per task must fail at
+        # construction, not loop on an empty budget.
+        with pytest.raises(ConfigurationError):
+            Budget.from_answers_per_task(mixed_schema, 0.0)
+
+    def test_overspend_clamps_remaining(self):
+        budget = Budget(total_answers=3)
+        budget.charge(5)
+        assert budget.exhausted
+        assert budget.remaining_answers == 0
 
 
 class TestWorkerArrivalProcess:
@@ -73,6 +92,63 @@ class TestWorkerArrivalProcess:
         pool = WorkerPool.generate(5, seed=0)
         with pytest.raises(ConfigurationError):
             WorkerArrivalProcess(pool, session_continue_probability=1.0)
+
+    def test_invalid_churn_parameters(self):
+        pool = WorkerPool.generate(5, seed=0)
+        with pytest.raises(ConfigurationError):
+            WorkerArrivalProcess(pool, churn_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            WorkerArrivalProcess(pool, churn_rate=0.2, active_fraction=0.0)
+
+    def test_churn_off_draws_are_unchanged(self):
+        # churn_rate=0 must not consume a single extra variate: the stream
+        # is identical to a process that never knew about the knob, and the
+        # whole pool stays eligible.
+        pool = WorkerPool.generate(12, seed=0)
+        baseline = WorkerArrivalProcess(pool, seed=7)
+        explicit = WorkerArrivalProcess(
+            pool, seed=7, churn_rate=0.0, active_fraction=0.2
+        )
+        assert explicit.active_worker_ids() == pool.worker_ids()
+        assert list(baseline.stream(100)) == list(explicit.stream(100))
+
+    def test_churn_restricts_arrivals_to_active_subset(self):
+        pool = WorkerPool.generate(20, seed=0)
+        arrival = WorkerArrivalProcess(
+            pool, seed=5, churn_rate=0.3, active_fraction=0.3
+        )
+        assert len(arrival.active_worker_ids()) == 6
+        for _ in range(100):
+            worker = arrival.next_worker()
+            assert worker in arrival.active_worker_ids()
+
+    def test_churned_worker_re_arrival(self):
+        pool = WorkerPool.generate(20, seed=0)
+        arrival = WorkerArrivalProcess(
+            pool,
+            seed=11,
+            session_continue_probability=0.0,
+            churn_rate=0.5,
+            active_fraction=0.3,
+        )
+        everyone = set(pool.worker_ids())
+        churned_out = everyone - set(arrival.active_worker_ids())
+        re_arrived = set()
+        for _ in range(300):
+            worker = arrival.next_worker()
+            if worker in churned_out:
+                re_arrived.add(worker)
+            churned_out |= everyone - set(arrival.active_worker_ids())
+        # Churn is not permanent: workers who left the platform came back
+        # and picked up HITs again.
+        assert re_arrived
+
+    def test_churn_reproducible(self):
+        pool = WorkerPool.generate(15, seed=0)
+        kwargs = dict(seed=9, churn_rate=0.4, active_fraction=0.4)
+        a = list(WorkerArrivalProcess(pool, **kwargs).stream(80))
+        b = list(WorkerArrivalProcess(pool, **kwargs).stream(80))
+        assert a == b
 
 
 class TestCrowdsourcingSession:
@@ -419,3 +495,124 @@ class TestLegacyKwargsShim:
         trace = session.run()
         assert len(trace.records) >= 1
         assert trace.final.answers_per_task == pytest.approx(1.0)
+
+
+class TestSessionBudgetEdges:
+    def test_final_burst_is_clamped_to_the_budget(self):
+        # batch_size does not divide the extra budget: the last arrival
+        # asks for a full batch but may only receive the remainder — the
+        # session must land exactly on the target, never overshoot it.
+        dataset = generate_synthetic(
+            num_rows=5, num_columns=3, categorical_ratio=0.5,
+            answers_per_task=2, num_workers=15, seed=14,
+        )
+        session = CrowdsourcingSession(
+            dataset,
+            RandomAssigner(dataset.schema, seed=0),
+            CombinedInference(),
+            target_answers_per_task=2.0,
+            initial_answers_per_task=1,
+            batch_size=4,  # extra budget is 15 answers: 3 full bursts + 3
+            eval_every_answers_per_task=1.0,
+            seed=15,
+        )
+        trace = session.run()
+        assert trace.final.answers_per_task == pytest.approx(2.0)
+        assert trace.final.answers_collected <= 2 * dataset.schema.num_cells
+
+
+class TestScenario:
+    """Seeded crowd perturbations (repro.platform.scenario)."""
+
+    @pytest.fixture(scope="class")
+    def scenario_dataset(self):
+        return generate_synthetic(
+            num_rows=8, num_columns=3, categorical_ratio=0.5,
+            answers_per_task=2, num_workers=20, seed=17,
+        )
+
+    def test_spam_pool_deterministic(self):
+        pool = WorkerPool.generate(20, seed=0)
+        first, first_ids = spam_pool(pool, 0.3, 0.9, seed=7)
+        second, second_ids = spam_pool(pool, 0.3, 0.9, seed=7)
+        assert first_ids == second_ids
+        assert len(first_ids) == 6
+        for a, b in zip(first, second):
+            assert a == b
+        # A different seed converts a different subset.
+        _, other_ids = spam_pool(pool, 0.3, 0.9, seed=8)
+        assert other_ids != first_ids
+
+    def test_spam_pool_raises_contamination_monotonically(self):
+        pool = WorkerPool.generate(20, seed=0)
+        spammed, ids = spam_pool(pool, 0.25, 0.9, seed=7)
+        originals = {worker.worker_id: worker for worker in pool}
+        for worker in spammed:
+            if worker.worker_id in ids:
+                assert worker.contamination >= 0.9
+            else:
+                assert worker == originals[worker.worker_id]
+        # The input pool is never mutated.
+        assert all(worker.contamination < 0.9 for worker in pool)
+
+    def test_spam_pool_zero_fraction_is_identity(self):
+        pool = WorkerPool.generate(10, seed=0)
+        same, ids = spam_pool(pool, 0.0, 0.9, seed=7)
+        assert same is pool
+        assert ids == frozenset()
+
+    def test_difficulty_drift_advances_and_caps(self, scenario_dataset):
+        import dataclasses
+
+        import numpy as np
+
+        oracle = dataclasses.replace(scenario_dataset.oracle)
+        base = np.array(oracle.row_difficulty, copy=True)
+        drift = DifficultyDrift(oracle, rate=1.0)
+        drift.advance()
+        assert oracle.row_difficulty == pytest.approx(base * np.e)
+        drift.advance(100)
+        assert oracle.row_difficulty == pytest.approx(base * 10.0)  # capped
+
+    def test_clean_scenario_is_the_dataset_itself(self, scenario_dataset):
+        scenario = build_scenario(scenario_dataset, SimulationSpec(), seed=7)
+        assert scenario.pool is scenario_dataset.worker_pool
+        assert scenario.oracle is scenario_dataset.oracle
+        assert scenario.drift is None
+        assert scenario.spam_worker_ids == frozenset()
+
+    def test_perturbed_scenario_never_mutates_the_dataset(self, scenario_dataset):
+        import numpy as np
+
+        before = np.array(scenario_dataset.oracle.row_difficulty, copy=True)
+        simulation = SimulationSpec(spam_fraction=0.3, difficulty_drift=0.5)
+        scenario = build_scenario(scenario_dataset, simulation, seed=7)
+        assert scenario.oracle is not scenario_dataset.oracle
+        assert scenario.spam_worker_ids
+        scenario.drift.advance(5)
+        assert scenario_dataset.oracle.row_difficulty == pytest.approx(before)
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"worker_churn_rate": 0.5},
+            {"spam_fraction": 0.3, "spam_contamination": 0.95},
+            {"difficulty_drift": 0.05},
+        ],
+    )
+    def test_perturbed_sessions_replay_exactly(self, scenario_dataset, knobs):
+        spec = (
+            SessionSpec.builder()
+            .model(max_iterations=3, m_step_iterations=6)
+            .policy(refit_every=2)
+            .simulation(
+                target_answers_per_task=1.5,
+                eval_every_answers_per_task=0.5,
+                seed=19,
+                **knobs,
+            )
+            .build()
+        )
+        first = CrowdsourcingSession.from_spec(scenario_dataset, spec).run()
+        second = CrowdsourcingSession.from_spec(scenario_dataset, spec).run()
+        assert first.records == second.records
